@@ -1,0 +1,48 @@
+"""Ablation: divide-and-conquer order vs a left fold for n-UDF batches.
+
+Section 6.1 amortises consolidation with a balanced pairwise tree.  A left
+fold consolidates the ever-growing accumulator against each new UDF — same
+final semantics, different consolidation-time profile.
+"""
+
+import pytest
+
+from repro.consolidation import consolidate_all
+from repro.lang.visitors import notified_pids
+from repro.queries import DOMAIN_QUERIES
+
+from conftest import BENCH_SEED
+
+N = 16
+
+
+@pytest.mark.parametrize("order", ("clustered", "tree", "fold"))
+def test_ablation_dnc_order(benchmark, stock_ds, order):
+    programs = DOMAIN_QUERIES["stock"].make_batch(stock_ds, "Q1", n=N, seed=BENCH_SEED)
+
+    def consolidate():
+        return consolidate_all(programs, stock_ds.functions, order=order)
+
+    report = benchmark.pedantic(consolidate, rounds=1, iterations=1)
+    assert notified_pids(report.program.body) == {p.pid for p in programs}
+    benchmark.extra_info.update(
+        {
+            "ablation": "dnc-order",
+            "order": order,
+            "pairs": report.pair_consolidations,
+            "depth": report.tree_depth,
+            "consolidation_s": round(report.duration, 3),
+        }
+    )
+    print(
+        f"[ablation dnc {order}] {report.pair_consolidations} pairs, depth "
+        f"{report.tree_depth}, {report.duration:.2f}s"
+    )
+
+
+def test_tree_is_shallower(stock_ds):
+    programs = DOMAIN_QUERIES["stock"].make_batch(stock_ds, "Q1", n=N, seed=BENCH_SEED)
+    tree = consolidate_all(programs, stock_ds.functions, order="tree")
+    fold = consolidate_all(programs, stock_ds.functions, order="fold")
+    assert tree.tree_depth < fold.tree_depth
+    assert tree.pair_consolidations == fold.pair_consolidations == N - 1

@@ -1,0 +1,60 @@
+"""Ablation: If 3 vs If 4/5 — the simplification / code-size trade-off.
+
+Section 4's remark: If 3 exposes the most cross-simplification but can blow
+up program size; the derived If 4 and If 5 trade sharing for compactness.
+This benchmark consolidates the same batch under the three policies and
+compares merged-program size, execution cost and consolidation time.
+"""
+
+import pytest
+
+from repro.consolidation import ConsolidationOptions, consolidate_all
+from repro.lang.visitors import stmt_size
+from repro.naiad import run_where_consolidated, run_where_many
+from repro.queries import DOMAIN_QUERIES
+
+from conftest import BENCH_SEED
+
+MODES = ("heuristic", "always_if3", "always_if5")
+N = 8  # small batch: always_if3 is intentionally explosive
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_ablation_if_rules(benchmark, news_ds, mode):
+    programs = DOMAIN_QUERIES["news"].make_batch(news_ds, "Q2", n=N, seed=BENCH_SEED)
+    options = ConsolidationOptions(if_rule_mode=mode)
+
+    def consolidate():
+        return consolidate_all(programs, news_ds.functions, options=options)
+
+    report = benchmark.pedantic(consolidate, rounds=1, iterations=1)
+
+    rows = news_ds.rows[:200]
+    many = run_where_many(rows, programs, news_ds.functions)
+    cons, _ = run_where_consolidated(rows, programs, news_ds.functions, options=options)
+    assert many.buckets == cons.buckets
+    assert cons.metrics.udf_cost <= many.metrics.udf_cost
+
+    size = stmt_size(report.program.body)
+    speedup = many.metrics.udf_cost / max(1, cons.metrics.udf_cost)
+    benchmark.extra_info.update(
+        {
+            "ablation": "if-rules",
+            "mode": mode,
+            "merged_size": size,
+            "udf_speedup": round(speedup, 2),
+        }
+    )
+    print(f"[ablation if-rules {mode}] size={size} udf_speedup={speedup:.2f}x")
+
+
+def test_if3_largest_if5_smallest(news_ds):
+    """The size ordering the paper predicts: if3 >= heuristic >= if5."""
+
+    programs = DOMAIN_QUERIES["news"].make_batch(news_ds, "Q2", n=N, seed=BENCH_SEED)
+    sizes = {}
+    for mode in MODES:
+        options = ConsolidationOptions(if_rule_mode=mode)
+        report = consolidate_all(programs, news_ds.functions, options=options)
+        sizes[mode] = stmt_size(report.program.body)
+    assert sizes["always_if3"] >= sizes["heuristic"] >= sizes["always_if5"]

@@ -1,0 +1,55 @@
+"""Ablation: Loop 2/Loop 3 fusion vs sequential loop execution.
+
+Disabling the loop rules forces every loop pair down the Step/Seq path; the
+weather yearly-aggregation family (explicit month loops) shows what fusion
+is worth.
+"""
+
+import pytest
+
+from repro.consolidation import ConsolidationOptions, consolidate_all
+from repro.naiad import run_where_consolidated, run_where_many
+from repro.queries import DOMAIN_QUERIES
+
+from conftest import BENCH_SEED
+
+N = 10
+
+
+@pytest.mark.parametrize("loops_enabled", (True, False), ids=("fusion", "sequential"))
+def test_ablation_loop_rules(benchmark, weather_ds, loops_enabled):
+    programs = DOMAIN_QUERIES["weather"].make_batch(weather_ds, "Q3", n=N, seed=BENCH_SEED)
+    options = ConsolidationOptions(enable_loop_rules=loops_enabled)
+    rows = weather_ds.rows
+
+    many = run_where_many(rows, programs, weather_ds.functions)
+
+    def run_consolidated():
+        return run_where_consolidated(
+            rows, programs, weather_ds.functions, options=options
+        )
+
+    cons, report = benchmark.pedantic(run_consolidated, rounds=1, iterations=1)
+    assert many.buckets == cons.buckets
+    speedup = many.metrics.udf_cost / max(1, cons.metrics.udf_cost)
+    benchmark.extra_info.update(
+        {
+            "ablation": "loops",
+            "fusion": loops_enabled,
+            "udf_speedup": round(speedup, 2),
+            "consolidation_s": round(report.duration, 3),
+        }
+    )
+    print(f"[ablation loops fusion={loops_enabled}] udf_speedup={speedup:.2f}x")
+
+
+def test_fusion_beats_sequential(weather_ds):
+    programs = DOMAIN_QUERIES["weather"].make_batch(weather_ds, "Q3", n=N, seed=BENCH_SEED)
+    rows = weather_ds.rows[:40]
+    speedups = {}
+    for enabled in (True, False):
+        options = ConsolidationOptions(enable_loop_rules=enabled)
+        many = run_where_many(rows, programs, weather_ds.functions)
+        cons, _ = run_where_consolidated(rows, programs, weather_ds.functions, options=options)
+        speedups[enabled] = many.metrics.udf_cost / max(1, cons.metrics.udf_cost)
+    assert speedups[True] > speedups[False]

@@ -1,0 +1,54 @@
+"""Ablation: the SMT engine vs purely syntactic value numbering.
+
+With ``use_smt=False`` the consolidator keeps only syntactic CSE — no
+entailment checks (If 1/If 2, Bool 1/Bool 2), no semantic call sharing, no
+loop fusion.  The gap quantifies what the paper's "symbolic SMT-based
+techniques" contribute beyond a classical optimiser.
+"""
+
+import pytest
+
+from repro.consolidation import ConsolidationOptions, consolidate_all
+from repro.naiad import run_where_consolidated, run_where_many
+from repro.queries import DOMAIN_QUERIES
+
+from conftest import BENCH_SEED
+
+N = 12
+
+
+@pytest.mark.parametrize("use_smt", (True, False), ids=("smt", "syntactic"))
+def test_ablation_smt(benchmark, weather_ds, use_smt):
+    programs = DOMAIN_QUERIES["weather"].make_batch(weather_ds, "Mix", n=N, seed=BENCH_SEED)
+    options = ConsolidationOptions(use_smt=use_smt)
+    rows = weather_ds.rows
+
+    many = run_where_many(rows, programs, weather_ds.functions)
+
+    def run_consolidated():
+        return run_where_consolidated(rows, programs, weather_ds.functions, options=options)
+
+    cons, report = benchmark.pedantic(run_consolidated, rounds=1, iterations=1)
+    assert many.buckets == cons.buckets
+    speedup = many.metrics.udf_cost / max(1, cons.metrics.udf_cost)
+    benchmark.extra_info.update(
+        {
+            "ablation": "smt",
+            "use_smt": use_smt,
+            "udf_speedup": round(speedup, 2),
+            "consolidation_s": round(report.duration, 3),
+        }
+    )
+    print(f"[ablation smt={use_smt}] udf_speedup={speedup:.2f}x consol={report.duration:.2f}s")
+
+
+def test_smt_beats_syntactic(weather_ds):
+    programs = DOMAIN_QUERIES["weather"].make_batch(weather_ds, "Mix", n=N, seed=BENCH_SEED)
+    rows = weather_ds.rows[:40]
+    speedups = {}
+    for use_smt in (True, False):
+        options = ConsolidationOptions(use_smt=use_smt)
+        many = run_where_many(rows, programs, weather_ds.functions)
+        cons, _ = run_where_consolidated(rows, programs, weather_ds.functions, options=options)
+        speedups[use_smt] = many.metrics.udf_cost / max(1, cons.metrics.udf_cost)
+    assert speedups[True] >= speedups[False]

@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the core components (not a paper figure).
+
+Tracks the throughput of the pieces the end-to-end numbers rest on: the
+SMT solver's entailment checks, single-pair consolidation of the paper's
+Example 1, and the interpreter's row throughput.
+"""
+
+import pytest
+
+from repro.consolidation import Consolidator
+from repro.lang import (
+    FunctionTable,
+    Interpreter,
+    LibraryFunction,
+    STR,
+    arg,
+    assign,
+    call,
+    eq,
+    ge,
+    if_,
+    ite_notify,
+    notify,
+    program,
+    var,
+)
+from repro.smt import Solver, app, eq_f, fand, le_f, lt_f, num, sym
+
+
+def test_bench_smt_entailment_chain(benchmark):
+    """A 12-step transitivity entailment, solved from scratch each time."""
+
+    syms = [sym(f"x{i}") for i in range(13)]
+    hyp = fand(*(le_f(syms[i], syms[i + 1]) for i in range(12)))
+    goal = le_f(syms[0], syms[12])
+
+    def check():
+        solver = Solver()  # fresh: measure raw solving, not the cache
+        assert solver.entails(hyp, goal)
+
+    benchmark(check)
+
+
+def test_bench_smt_congruence(benchmark):
+    x, y, z = sym("x"), sym("y"), sym("z")
+    hyp = fand(le_f(x, y), le_f(y, x), eq_f(z, app("f", x)))
+
+    def check():
+        solver = Solver()
+        assert solver.entails(hyp, eq_f(app("f", y), z))
+
+    benchmark(check)
+
+
+@pytest.fixture(scope="module")
+def example1():
+    airlines = ["United", "Southwest", "Delta"]
+    ft = FunctionTable(
+        [
+            LibraryFunction("airlineName", lambda fi: airlines[fi % 3], cost=20, result_sort=STR),
+            LibraryFunction("toLower", lambda s: s.lower(), cost=15, result_sort=STR, arg_sorts=(STR,)),
+            LibraryFunction("price", lambda fi: (fi * 37) % 400, cost=20),
+        ]
+    )
+    f1 = program(
+        "f1",
+        ("fi",),
+        assign("name", call("toLower", call("airlineName", arg("fi")))),
+        if_(eq(var("name"), "united"), notify("f1", True), ite_notify("f1", eq(var("name"), "southwest"))),
+    )
+    f2 = program(
+        "f2",
+        ("fi",),
+        if_(
+            ge(call("price", arg("fi")), 200),
+            notify("f2", False),
+            ite_notify("f2", eq(call("toLower", call("airlineName", arg("fi"))), "united")),
+        ),
+    )
+    return ft, f1, f2
+
+
+def test_bench_consolidate_example1(benchmark, example1):
+    """Single-pair consolidation latency (the paper: sub-second for 100s)."""
+
+    ft, f1, f2 = example1
+
+    def consolidate():
+        return Consolidator(ft).consolidate(f1, f2)
+
+    merged = benchmark(consolidate)
+    assert merged.pid == "f1&f2"
+
+
+def test_bench_interpreter_throughput(benchmark, example1):
+    ft, f1, _f2 = example1
+    interp = Interpreter(ft)
+
+    def run_batch():
+        total = 0
+        for i in range(200):
+            total += interp.run(f1, {"fi": i}).cost
+        return total
+
+    total = benchmark(run_batch)
+    assert total > 0

@@ -1,0 +1,62 @@
+"""Figure 10: scalability with the number of UDFs (Section 6.3).
+
+The paper's claims, re-asserted here on the regenerated series:
+
+* whereMany's time grows roughly linearly with the number of UDFs;
+* whereConsolidated's stays roughly constant (sub-linear);
+* consolidation time grows with n but remains practical.
+"""
+
+import pytest
+
+from repro.experiments import render_figure10, run_figure10
+
+SWEEP = (5, 10, 20, 40)
+
+
+def test_figure10_scalability(benchmark):
+    def run_sweep():
+        return run_figure10(sweep=SWEEP, articles=300, seed=1)
+
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print(render_figure10(report))
+
+    growth = report.growth_ratios()
+    n_ratio = growth["n_ratio"]
+
+    # whereMany grows near-linearly: within 40% of proportional.
+    assert growth["many_udf_growth"] > 0.6 * n_ratio
+    # whereConsolidated grows clearly sub-linearly.  (The margin tightens
+    # with n — at the full sweep to 300 UDFs the ratio is ~0.2x — but this
+    # benchmark's quick sweep only reaches n=40.)
+    assert growth["cons_udf_growth"] < 0.7 * n_ratio
+    # And the gap widens with n (the paper's core scalability message).
+    first, last = report.points[0], report.points[-1]
+    gap_first = first.many_udf_cost / max(1, first.cons_udf_cost)
+    gap_last = last.many_udf_cost / max(1, last.cons_udf_cost)
+    assert gap_last > gap_first
+
+    benchmark.extra_info.update(
+        {
+            "figure": "10",
+            "sweep": list(SWEEP),
+            "many_udf_growth": round(growth["many_udf_growth"], 2),
+            "cons_udf_growth": round(growth["cons_udf_growth"], 2),
+            "consolidation_s_at_max": round(report.points[-1].consolidation_seconds, 3),
+        }
+    )
+
+
+def test_figure10_consolidation_time_growth(benchmark):
+    """Consolidation time itself: grows with n, stays practical (<1s/UDF)."""
+
+    def run_sweep():
+        return run_figure10(sweep=(5, 20), articles=120, seed=2)
+
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    small, large = report.points
+    assert large.consolidation_seconds >= small.consolidation_seconds * 0.5
+    assert large.consolidation_seconds / large.n_udfs < 1.0
+    benchmark.extra_info["consolidation_series"] = [
+        (p.n_udfs, round(p.consolidation_seconds, 3)) for p in report.points
+    ]

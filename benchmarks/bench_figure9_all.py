@@ -1,0 +1,39 @@
+"""Figure 9 aggregate statistics (Section 6.3's headline numbers).
+
+The paper reports, over all 21 bar pairs: UDF speedups 2.6x-24.2x with an
+average of 8.4x; total speedups 1.4x-23.1x averaging 6.0x; consolidation
+averaging ~0.3 s per 50-UDF batch.  This benchmark regenerates the whole
+figure once and asserts the qualitative shape: every experiment speeds up,
+aggregate averages land in the same band, and the pure families beat the
+mixed ones.
+"""
+
+import pytest
+
+from repro.experiments import render_figure9, run_figure9
+
+from conftest import BENCH_N_UDFS, BENCH_SEED
+
+
+def test_figure9_aggregate(benchmark, datasets):
+    def run_all():
+        return run_figure9(
+            n_udfs=BENCH_N_UDFS, seed=BENCH_SEED, datasets=datasets
+        )
+
+    report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    agg = report.aggregates()
+    print(render_figure9(report))
+
+    # Shape assertions (paper: UDF 2.6-24.2 avg 8.4; total 1.4-23.1 avg 6.0).
+    assert agg["udf_min"] >= 1.0
+    assert agg["udf_max"] > 5.0
+    assert 2.0 < agg["udf_avg"] < 30.0
+    assert agg["total_avg"] <= agg["udf_avg"] + 1e-9
+
+    # Pure single-family batches beat the mixed/combined ones on average.
+    pure = [r.udf_speedup for r in report.results if r.family.startswith("Q")]
+    mixed = [r.udf_speedup for r in report.results if r.family in ("Mix", "BC")]
+    assert sum(pure) / len(pure) > sum(mixed) / len(mixed)
+
+    benchmark.extra_info.update({"figure": "9-aggregate", **{k: round(v, 3) for k, v in agg.items()}})

@@ -1,0 +1,16 @@
+"""Figure 9 bars for the flight domain (Section 6.3).
+
+Each parametrised case regenerates one UDF/Total speedup bar pair; the
+speedups and consolidation time are attached as benchmark extra_info.
+"""
+
+import pytest
+
+from repro.queries import DOMAIN_QUERIES
+
+from _util import figure9_family_benchmark
+
+
+@pytest.mark.parametrize("family", DOMAIN_QUERIES["flight"].FAMILY_NAMES)
+def test_figure9_flight(benchmark, flight_ds, family):
+    figure9_family_benchmark(benchmark, flight_ds, "flight", family)

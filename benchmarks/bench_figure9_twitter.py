@@ -1,0 +1,16 @@
+"""Figure 9 bars for the twitter domain (Section 6.3).
+
+Each parametrised case regenerates one UDF/Total speedup bar pair; the
+speedups and consolidation time are attached as benchmark extra_info.
+"""
+
+import pytest
+
+from repro.queries import DOMAIN_QUERIES
+
+from _util import figure9_family_benchmark
+
+
+@pytest.mark.parametrize("family", DOMAIN_QUERIES["twitter"].FAMILY_NAMES)
+def test_figure9_twitter(benchmark, twitter_ds, family):
+    figure9_family_benchmark(benchmark, twitter_ds, "twitter", family)

@@ -1,0 +1,35 @@
+"""Extension benchmark: latency-aware consolidation (Section 8).
+
+Measures average and priority-query broadcast latency under the sequential
+baseline, default consolidation, and the priority-ordered fold.
+"""
+
+import pytest
+
+from repro.experiments import run_latency_experiment
+from repro.queries import DOMAIN_QUERIES
+
+from conftest import BENCH_SEED
+
+N = 10
+
+
+def test_latency_extension(benchmark, stock_ds):
+    programs = DOMAIN_QUERIES["stock"].make_batch(stock_ds, "Q1", n=N, seed=BENCH_SEED)
+    priority = (programs[-1].pid,)
+
+    def run():
+        return run_latency_experiment(stock_ds, programs, priority=priority, row_limit=30)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = report.summary()
+    print(f"[latency] {summary}")
+
+    pid = priority[0]
+    # Consolidation must not regress the designated query's latency, and
+    # the priority order should tighten it further (or at least match).
+    assert report.consolidated[pid] < report.sequential[pid]
+    assert report.prioritized[pid] <= report.consolidated[pid] * 1.05
+    assert report.mean(report.consolidated) < report.mean(report.sequential)
+
+    benchmark.extra_info.update({"extension": "latency", **summary})

@@ -1,0 +1,82 @@
+"""Quickstart: consolidate two UDFs written as plain Python functions.
+
+Reproduces the paper's opening example (Section 2, Example 1): two flight
+filters that share the airline-name computation and have an implication
+between their tests.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Consolidator, translate_udf
+from repro.consolidation import check_soundness
+from repro.lang import FunctionTable, LibraryFunction, STR, program_to_str
+
+# ---------------------------------------------------------------------------
+# 1. The library functions UDFs may call (pure and deterministic — the
+#    paper's "well-behaved" requirement).  Costs drive the optimizer.
+# ---------------------------------------------------------------------------
+
+AIRLINES = ["United", "Southwest", "Delta", "JetBlue", "Alaska"]
+
+functions = FunctionTable(
+    [
+        LibraryFunction("airline_name", lambda fi: AIRLINES[fi % 5], cost=20, result_sort=STR),
+        LibraryFunction("to_lower", lambda s: s.lower(), cost=15, result_sort=STR, arg_sorts=(STR,)),
+        LibraryFunction("price", lambda fi: (fi * 37) % 400, cost=20),
+    ]
+)
+
+# ---------------------------------------------------------------------------
+# 2. Two UDFs over the same input row. f1 filters for United/Southwest
+#    flights; f2 for cheap United flights.
+# ---------------------------------------------------------------------------
+
+
+def f1(fi):
+    name = to_lower(airline_name(fi))  # noqa: F821 - library call, resolved at translation
+    if name == "united":
+        return True
+    return name == "southwest"
+
+
+def f2(fi, budget=200):
+    if price(fi) >= budget:  # noqa: F821
+        return False
+    return to_lower(airline_name(fi)) == "united"  # noqa: F821
+
+
+def main() -> None:
+    p1 = translate_udf(f1, pid="f1", functions=functions)
+    p2 = translate_udf(f2, pid="f2", functions=functions)
+
+    print("=== original f1 ===")
+    print(program_to_str(p1))
+    print("\n=== original f2 ===")
+    print(program_to_str(p2))
+
+    # -----------------------------------------------------------------------
+    # 3. Consolidate. The merged program computes the airline name once,
+    #    tests "united" once, and drops f2's dead price test in the branch
+    #    where f1 already decided the outcome.
+    # -----------------------------------------------------------------------
+    consolidator = Consolidator(functions)
+    merged = consolidator.consolidate(p1, p2)
+    print("\n=== consolidated ===")
+    print(program_to_str(merged))
+    print(f"\ncalculus rules applied: {consolidator.trace}")
+
+    # -----------------------------------------------------------------------
+    # 4. Verify Theorem 1 dynamically: identical notifications, lower cost.
+    # -----------------------------------------------------------------------
+    inputs = [{"fi": i} for i in range(500)]
+    report = check_soundness([p1, p2], merged, functions, inputs)
+    assert report.ok, report.violations
+    print(
+        f"\nchecked {report.inputs_checked} inputs: identical results, "
+        f"cost {report.sequential_cost} -> {report.consolidated_cost} "
+        f"({report.speedup:.2f}x speedup)"
+    )
+
+
+if __name__ == "__main__":
+    main()

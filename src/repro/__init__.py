@@ -1,0 +1,58 @@
+"""repro — a reproduction of "Consolidation of Queries with User-Defined
+Functions" (Sousa, Dillig, Vytiniotis, Dillig, Gkantsidis; PLDI 2014).
+
+Public API tour:
+
+* :mod:`repro.lang` — the consolidation language (Fig 1) and its
+  cost-annotated interpreter (Fig 2);
+* :mod:`repro.frontend` — write UDFs as restricted Python functions;
+* :mod:`repro.smt` — the built-in QF_UFLIA solver (Z3 substitute);
+* :mod:`repro.analysis` — strongest postconditions, loop invariants;
+* :mod:`repro.consolidation` — the calculus and algorithm (Figs 3/5/7/8),
+  the divide-and-conquer driver, and the dynamic Theorem 1 checker;
+* :mod:`repro.naiad` — the mini timely-dataflow engine with the
+  ``whereMany`` / ``whereConsolidated`` operators (Section 6.1);
+* :mod:`repro.datasets` / :mod:`repro.queries` — the five evaluation
+  domains and their query families (Section 6.2);
+* :mod:`repro.experiments` — Figure 9 / Figure 10 harnesses.
+
+Quick start::
+
+    from repro import consolidate, translate_udf
+
+    merged = consolidate([udf1, udf2], functions)
+"""
+
+from .consolidation import (
+    ConsolidationOptions,
+    ConsolidationReport,
+    Consolidator,
+    check_soundness,
+    consolidate_all,
+)
+from .frontend import TranslationError, translate_source, translate_udf
+from .lang import (
+    CostModel,
+    FunctionTable,
+    Interpreter,
+    LibraryFunction,
+    Program,
+    parse_program,
+    program_to_str,
+    run_program,
+    run_sequentially,
+)
+from .naiad import from_collection, run_where_consolidated, run_where_many
+
+__version__ = "1.0.0"
+
+
+def consolidate(programs, functions, **kwargs):
+    """Merge a batch of UDF programs into one (divide-and-conquer).
+
+    Convenience wrapper around
+    :func:`repro.consolidation.divide_conquer.consolidate_all`; returns the
+    merged :class:`~repro.lang.ast.Program`.
+    """
+
+    return consolidate_all(list(programs), functions, **kwargs).program

@@ -1,0 +1,13 @@
+"""Program analyses supporting consolidation.
+
+* :mod:`repro.analysis.sp` — strongest postconditions over SMT contexts,
+* :mod:`repro.analysis.costmodel` — static expression/statement costs,
+* :mod:`repro.analysis.invariants` — guess-and-check loop invariants,
+* :mod:`repro.analysis.related` — the ``related`` heuristic of Figure 8.
+"""
+
+from .affine import AffineState, affine_loop_invariant
+from .costmodel import expr_cost, stmt_cost_bounds
+from .invariants import loop_invariant, stable_conjuncts
+from .related import comparison_subjects, expr_features, related
+from .sp import SpEngine

@@ -1,0 +1,455 @@
+"""An affine-equality abstract domain (Karr's analysis, 1976).
+
+An alternative engine for the loop-invariant inference the Loop 2/3 rules
+need: instead of probing candidate equalities with the SMT solver
+(:mod:`repro.analysis.invariants`), propagate an *affine subspace* — the
+set of solutions of a linear equality system ``A·x = b`` — through the
+loop body and join at the head until fixpoint.  Because each join can only
+grow the subspace's dimension and dimensions are bounded by the number of
+variables, the fixpoint arrives in at most ``n + 1`` rounds.
+
+Representation: :class:`AffineState` holds rows ``[c0, c1, ..., cn]`` over
+``Fraction`` meaning ``c0 + Σ ci·xi = 0``, kept in reduced row-echelon
+form.  ``BOTTOM`` (unreachable) is a distinguished state.
+
+Transfer functions:
+
+* linear assignment — exact (substitution via a fresh column);
+* non-linear / call assignment — havoc (project the column out);
+* conditionals — join of both branch post-states (guards carry no
+  equality information in this domain);
+* nested loops — inner fixpoint.
+
+The engine is sound by construction, but the consolidation algorithm still
+re-verifies every produced equality with the SMT inductiveness check
+before trusting it (`verify=True` below) — defence in depth, and it makes
+the probe/karr ablation an apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..lang.ast import Assign, Expr, If, Notify, Seq, Skip, Stmt, While
+from ..smt.interface import arg_sym, var_sym
+from ..smt.terms import FAnd, Eq as EqF, Formula, Lin, Num, Sym, eq_f, fand, from_linear
+from .sp import SpEngine
+
+__all__ = ["AffineState", "affine_loop_invariant", "equalities_from_formula"]
+
+
+Row = list  # [c0, c1, ..., cn] over Fraction
+
+
+@dataclass
+class AffineState:
+    """An affine subspace over a fixed variable ordering (or bottom)."""
+
+    variables: tuple[str, ...]
+    rows: list[Row]  # reduced row-echelon, no zero rows
+    is_bottom: bool = False
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def top(variables: Sequence[str]) -> "AffineState":
+        return AffineState(tuple(variables), [])
+
+    @staticmethod
+    def bottom(variables: Sequence[str]) -> "AffineState":
+        return AffineState(tuple(variables), [], is_bottom=True)
+
+    def copy(self) -> "AffineState":
+        return AffineState(self.variables, [list(r) for r in self.rows], self.is_bottom)
+
+    # -- linear algebra over Fraction ------------------------------------------
+
+    def _echelon(self, rows: list[Row]) -> list[Row] | None:
+        """Reduced row echelon; None signals an inconsistent system."""
+
+        n = len(self.variables) + 1
+        work = [list(map(Fraction, r)) for r in rows]
+        pivots: list[int] = []
+        result: list[Row] = []
+        # Column 0 is the constant; pivot on variable columns 1..n-1 first.
+        for col in range(1, n):
+            pivot_row = None
+            for r in work:
+                if r[col] != 0 and all(r[c] == 0 for c in range(1, col)):
+                    pivot_row = r
+                    break
+            if pivot_row is None:
+                continue
+            work.remove(pivot_row)
+            inv = Fraction(1) / pivot_row[col]
+            pivot_row = [v * inv for v in pivot_row]
+            for r in work + result:
+                if r[col] != 0:
+                    factor = r[col]
+                    for c in range(n):
+                        r[c] -= factor * pivot_row[c]
+            result.append(pivot_row)
+            pivots.append(col)
+        # Remaining rows must be all-zero on variables; a nonzero constant
+        # means 0 = c with c != 0: inconsistent.
+        for r in work:
+            if any(r[c] != 0 for c in range(1, n)):
+                # A row not reduced (shouldn't happen) — re-run on it.
+                return self._echelon(result + [r])
+            if r[0] != 0:
+                return None
+        result.sort(key=lambda r: next((c for c in range(1, n) if r[c] != 0), n))
+        return result
+
+    def with_rows(self, rows: list[Row]) -> "AffineState":
+        reduced = self._echelon(rows)
+        if reduced is None:
+            return AffineState.bottom(self.variables)
+        return AffineState(self.variables, reduced)
+
+    def add_equality(self, row: Row) -> "AffineState":
+        if self.is_bottom:
+            return self
+        return self.with_rows(self.rows + [row])
+
+    # -- queries ----------------------------------------------------------------
+
+    def _col(self, name: str) -> int:
+        return 1 + self.variables.index(name)
+
+    def entails_row(self, row: Row) -> bool:
+        """Whether the subspace satisfies ``row`` everywhere."""
+
+        if self.is_bottom:
+            return True
+        candidate = self._echelon(self.rows + [list(row)])
+        if candidate is None:
+            return False
+        return len(candidate) == len(self.rows)
+
+    # -- transfer functions -------------------------------------------------------
+
+    def havoc(self, name: str) -> "AffineState":
+        """Forget everything about ``name`` (project its column out)."""
+
+        if self.is_bottom:
+            return self
+        col = self._col(name)
+        kept = [r for r in self.rows if r[col] == 0]
+        users = [r for r in self.rows if r[col] != 0]
+        # Eliminate the column between pairs of rows that use it.
+        for i in range(1, len(users)):
+            a, b = users[0], users[i]
+            factor = b[col] / a[col]
+            kept.append([bv - factor * av for av, bv in zip(a, b)])
+        return self.with_rows(kept)
+
+    def assign_linear(self, name: str, const: int, coeffs: dict[str, int]) -> "AffineState":
+        """Exact transfer for ``name := const + Σ coeffs[v]·v``."""
+
+        if self.is_bottom:
+            return self
+        n = len(self.variables) + 1
+        col = self._col(name)
+        # x_new - e[x_old] = 0, with occurrences of name in e meaning the
+        # OLD value: introduce the defining row in terms of a virtual old
+        # column by first rewriting rows... Standard trick: if the rhs does
+        # not mention name, havoc-then-constrain; otherwise substitute
+        # backwards (invertible only when coeff on name != 0).
+        self_coeff = coeffs.get(name, 0)
+        if self_coeff == 0:
+            state = self.havoc(name)
+            row = [Fraction(0)] * n
+            row[0] = Fraction(const)
+            row[col] = Fraction(-1)
+            for v, c in coeffs.items():
+                row[state._col(v)] += Fraction(c)
+            return state.add_equality(row)
+        # Invertible update x := a*x + rest (a != 0): substitute
+        # x_old = (x_new - rest)/a into every row.
+        a = Fraction(self_coeff)
+        rest_row = [Fraction(0)] * n
+        rest_row[0] = Fraction(const)
+        for v, c in coeffs.items():
+            if v != name:
+                rest_row[self._col(v)] += Fraction(c)
+        new_rows: list[Row] = []
+        for r in self.rows:
+            k = r[col]
+            nr = list(r)
+            nr[col] = k / a
+            for c in range(n):
+                if c != col:
+                    nr[c] -= (k / a) * rest_row[c]
+            new_rows.append(nr)
+        return self.with_rows(new_rows)
+
+    def join(self, other: "AffineState") -> "AffineState":
+        """Affine hull of the two subspaces (Karr's join)."""
+
+        if self.is_bottom:
+            return other.copy()
+        if other.is_bottom:
+            return self.copy()
+        # Keep exactly the equalities of self that other also satisfies,
+        # plus linear combinations; the affine hull of two subspaces is the
+        # set of equalities valid on both, i.e. the intersection of their
+        # row spaces *as constraint sets on points of either subspace*.
+        # Compute via generators: points+directions of both, then the
+        # equalities vanishing on all generators.
+        gen_self = self._generators()
+        gen_other = other._generators()
+        if gen_self is None or gen_other is None:
+            return AffineState.top(self.variables)
+        (p1, dirs1), (p2, dirs2) = gen_self, gen_other
+        directions = dirs1 + dirs2 + [[b - a for a, b in zip(p1, p2)]]
+        return self._from_generators(p1, directions)
+
+    def _generators(self) -> tuple[list, list[list]] | None:
+        """A particular point and a basis of directions for the subspace."""
+
+        n_vars = len(self.variables)
+        pivots: dict[int, Row] = {}
+        for r in self.rows:
+            for c in range(1, n_vars + 1):
+                if r[c] != 0:
+                    pivots[c] = r
+                    break
+        free_cols = [c for c in range(1, n_vars + 1) if c not in pivots]
+        # Particular point: free vars = 0, pivot vars solved.
+        point = [Fraction(0)] * n_vars
+        for c, row in pivots.items():
+            # row: c0 + x_c + sum over free cols (zero) = 0 → x_c = -c0
+            value = -row[0]
+            for fc in free_cols:
+                value -= row[fc] * 0
+            point[c - 1] = value / row[c]
+        directions: list[list] = []
+        for fc in free_cols:
+            d = [Fraction(0)] * n_vars
+            d[fc - 1] = Fraction(1)
+            for c, row in pivots.items():
+                d[c - 1] = -row[fc] / row[c]
+            directions.append(d)
+        return point, directions
+
+    def _from_generators(self, point: list, directions: list[list]) -> "AffineState":
+        """Constraints vanishing on ``point + span(directions)``."""
+
+        n_vars = len(self.variables)
+        # Find the null space of the direction matrix (rows = directions):
+        # vectors w with w·d = 0 for every direction d; each such w gives
+        # the equality w·x = w·point.
+        basis = _null_space(directions, n_vars)
+        rows: list[Row] = []
+        for w in basis:
+            c0 = -sum(wi * pi for wi, pi in zip(w, point))
+            rows.append([c0] + list(w))
+        return self.with_rows(rows)
+
+    # -- rendering ----------------------------------------------------------------
+
+    def equalities(self) -> list[tuple[int, dict[str, int]]]:
+        """Integer-normalised equalities ``const + Σ coeff·var = 0``."""
+
+        out = []
+        for r in self.rows:
+            denominators = [f.denominator for f in r]
+            lcm = 1
+            for d in denominators:
+                lcm = lcm * d // _gcd(lcm, d)
+            ints = [int(f * lcm) for f in r]
+            coeffs = {
+                self.variables[i]: ints[i + 1]
+                for i in range(len(self.variables))
+                if ints[i + 1] != 0
+            }
+            out.append((ints[0], coeffs))
+        return out
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a) or 1
+
+
+def _null_space(vectors: list[list], n: int) -> list[list]:
+    """A basis of { w : w·v = 0 for all v in vectors } over Fraction."""
+
+    # Gaussian elimination on the vectors to get a row-space basis.
+    work = [list(map(Fraction, v)) for v in vectors]
+    basis_rows: list[list] = []
+    pivot_cols: list[int] = []
+    for col in range(n):
+        pivot = None
+        for r in work:
+            if r[col] != 0 and all(r[c] == 0 for c in pivot_cols):
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        work.remove(pivot)
+        inv = Fraction(1) / pivot[col]
+        pivot = [v * inv for v in pivot]
+        for r in work + basis_rows:
+            if r[col] != 0:
+                f = r[col]
+                for c in range(n):
+                    r[c] -= f * pivot[c]
+        basis_rows.append(pivot)
+        pivot_cols.append(col)
+    free_cols = [c for c in range(n) if c not in pivot_cols]
+    null_basis: list[list] = []
+    for fc in free_cols:
+        w = [Fraction(0)] * n
+        w[fc] = Fraction(1)
+        for row, pc in zip(basis_rows, pivot_cols):
+            w[pc] = -row[fc]
+        null_basis.append(w)
+    return null_basis
+
+
+# ---------------------------------------------------------------------------
+# Statement transfer and the loop fixpoint
+# ---------------------------------------------------------------------------
+
+
+def _linear_of(e: Expr) -> tuple[int, dict[str, int]] | None:
+    """IR linear decomposition over tracked dimensions (locals and args).
+
+    Dimensions are named in the SMT symbol space (``v!x`` / ``a!n``) so the
+    state can relate loop counters to the shared input arguments; calls
+    make the expression non-affine.
+    """
+
+    from ..consolidation.simplifier import ir_linear
+    from ..lang.ast import Arg, Var
+
+    decomposition = ir_linear(e)
+    if decomposition is None:
+        return None
+    const, coeffs = decomposition
+    out: dict[str, int] = {}
+    for atom, c in coeffs.items():
+        if isinstance(atom, Var):
+            name = var_sym(atom.name).name
+        elif isinstance(atom, Arg):
+            name = arg_sym(atom.name).name
+        else:
+            return None  # calls: not affine over the tracked dimensions
+        out[name] = out.get(name, 0) + c
+    return const, out
+
+
+def transfer(state: AffineState, s: Stmt) -> AffineState:
+    """Karr transfer of one statement."""
+
+    if state.is_bottom or isinstance(s, (Skip, Notify)):
+        return state
+    if isinstance(s, Assign):
+        name = var_sym(s.var).name
+        if name not in state.variables:
+            return state
+        linear = _linear_of(s.expr)
+        if linear is None:
+            return state.havoc(name)
+        const, coeffs = linear
+        if any(v not in state.variables for v in coeffs):
+            return state.havoc(name)
+        return state.assign_linear(name, const, coeffs)
+    if isinstance(s, Seq):
+        for sub in s.stmts:
+            state = transfer(state, sub)
+        return state
+    if isinstance(s, If):
+        return transfer(state.copy(), s.then).join(transfer(state.copy(), s.orelse))
+    if isinstance(s, While):
+        return _loop_fixpoint(state, s.body)
+    raise TypeError(f"not a statement: {s!r}")
+
+
+def _loop_fixpoint(entry: AffineState, body: Stmt) -> AffineState:
+    state = entry.copy()
+    for _ in range(len(entry.variables) + 2):
+        nxt = state.join(transfer(state.copy(), body))
+        if nxt.rows == state.rows and nxt.is_bottom == state.is_bottom:
+            return state
+        state = nxt
+    return AffineState.top(entry.variables)
+
+
+# ---------------------------------------------------------------------------
+# Integration with the invariant interface
+# ---------------------------------------------------------------------------
+
+
+def equalities_from_formula(psi: Formula, variables: Sequence[str]) -> list[Row]:
+    """Affine rows for the equalities among ``psi``'s conjuncts.
+
+    ``variables`` are dimension names in the SMT symbol space.
+    """
+
+    name_of = {v: i for i, v in enumerate(variables)}
+    rows: list[Row] = []
+    parts = psi.args if isinstance(psi, FAnd) else (psi,)
+    for p in parts:
+        if not isinstance(p, EqF):
+            continue
+        term = p.term
+        if isinstance(term, Sym):
+            if term.name in name_of:
+                row = [Fraction(0)] * (len(variables) + 1)
+                row[1 + name_of[term.name]] = Fraction(1)
+                rows.append(row)
+            continue
+        if isinstance(term, Lin):
+            row = [Fraction(term.const)] + [Fraction(0)] * len(variables)
+            ok = True
+            for atom, coef in term.coeffs:
+                if isinstance(atom, Sym) and atom.name in name_of:
+                    row[1 + name_of[atom.name]] += Fraction(coef)
+                else:
+                    ok = False
+                    break
+            if ok:
+                rows.append(row)
+    return rows
+
+
+def affine_loop_invariant(
+    engine: SpEngine,
+    psi: Formula,
+    body: Stmt,
+) -> Formula:
+    """Loop-head invariant equalities via Karr's analysis.
+
+    The entry state is seeded from the variable-only equalities of ``psi``;
+    the result is the conjunction of the fixpoint's equalities as SMT
+    formulas (ready to be conjoined with the stable part of ``psi``).
+    """
+
+    from ..lang.visitors import stmt_args, stmt_vars
+    from ..smt.terms import free_syms
+
+    dims = {var_sym(v).name for v in stmt_vars(body)}
+    dims |= {arg_sym(a).name for a in stmt_args(body)}
+    # Arguments related to the locals through the entry context extend the
+    # space (they are constant through the loop, hence free dimensions).
+    dims |= {n for n in free_syms(psi) if n.startswith("a!")}
+    variables = sorted(dims)
+    if not variables:
+        return fand()
+    entry = AffineState.top(variables).with_rows(
+        equalities_from_formula(psi, variables)
+    )
+    head = _loop_fixpoint(entry, body)
+    if head.is_bottom:
+        return fand()
+    conjuncts = []
+    for const, coeffs in head.equalities():
+        term_coeffs = {Sym(v): c for v, c in coeffs.items()}
+        conjuncts.append(eq_f(from_linear(const, term_coeffs), Num(0)))
+    return fand(*conjuncts)

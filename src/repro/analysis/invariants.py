@@ -1,0 +1,256 @@
+"""Loop-invariant inference for the Loop 2 / Loop 3 rules (Figure 7).
+
+The loop rules need an invariant ``Ψ1`` of the fused loop
+``while (e1 ∧ e2) do S1; S2`` strong enough to relate the two programs'
+iteration counts (``Ψ1 ∧ ¬(e1∧e2) |= ¬e1 ∧ ¬e2`` for Loop 2, or ``|= e1``
+for Loop 3).  In the paper's workloads these invariants are affine
+equalities between the two loops' induction variables (e.g. ``j = i - 1``
+in Example 6), so we use a guess-and-check scheme:
+
+1. **Stable facts** — conjuncts of the entry context ``Ψ`` that mention no
+   variable the loop writes are invariant outright.
+2. **Affine candidates** — for every pair of integer variables of interest
+   the entry context is probed for an entailed difference ``u - v = c``
+   (``c`` drawn from a small constant pool seeded by the program text).
+3. **Inductiveness check** — every candidate that passes initiation is
+   checked for preservation through one symbolic execution of the body
+   (:class:`~repro.analysis.sp.SpEngine`); candidates may support each
+   other, so failing candidates are retried once against the conjunction
+   of those already proved.
+
+Everything reported is *proved* inductive by the SMT solver, so the loop
+rules can rely on it; a missed invariant merely means the loops are run
+sequentially (the Step/Seq fallback), never a wrong transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..lang.ast import Expr, IntConst, Stmt
+from ..lang.functions import INT
+from ..lang.visitors import assigned_vars, expr_args, expr_vars, stmt_args, stmt_exprs, stmt_vars, subexpressions
+from ..smt.interface import arg_sym, var_sym
+from ..smt.solver import Solver
+from ..smt.terms import (
+    FAnd,
+    Formula,
+    Le,
+    Num,
+    Sym,
+    TRUE_F,
+    cone_of_influence,
+    eq_f,
+    fand,
+    free_syms,
+    le_f,
+    t_sub,
+)
+from .sp import SpEngine
+
+__all__ = ["loop_invariant", "stable_conjuncts"]
+
+_BASE_CONSTANT_POOL = (-2, -1, 0, 1, 2)
+_MAX_CANDIDATE_SYMS = 10
+
+
+def stable_conjuncts(psi: Formula, killed_names: set[str]) -> Formula:
+    """Conjuncts of ``psi`` whose symbols survive havocking ``killed_names``."""
+
+    killed_syms = {var_sym(n).name for n in killed_names}
+    parts = psi.args if isinstance(psi, FAnd) else (psi,)
+    kept = [p for p in parts if not (free_syms(p) & killed_syms)]
+    return fand(*kept)
+
+
+def _program_constants(body: Stmt, conds: Iterable[Expr]) -> list[int]:
+    """The probe pool: small offsets plus loop-bound differences.
+
+    Induction variables of fusable loops differ by small constants (or by
+    differences of their bounds), so the pool stays tiny — each extra
+    constant costs one entailment probe per variable pair.
+    """
+
+    consts: set[int] = set(_BASE_CONSTANT_POOL)
+    bounds: set[int] = set()
+    for e in conds:
+        for sub in subexpressions(e):
+            if isinstance(sub, IntConst) and abs(sub.value) <= 1000:
+                bounds.add(sub.value)
+    for a in bounds:
+        for b in bounds:
+            if abs(a - b) <= 64:
+                consts.add(a - b)
+    return sorted(consts, key=abs)
+
+
+def _candidate_syms(engine: SpEngine, body: Stmt, conds: list[Expr]) -> list[Sym]:
+    names: list[tuple[str, bool]] = []
+    seen: set[str] = set()
+    for e in conds:
+        for n in sorted(expr_vars(e)):
+            if n not in seen:
+                seen.add(n)
+                names.append((n, False))
+        for n in sorted(expr_args(e)):
+            if ("@" + n) not in seen:
+                seen.add("@" + n)
+                names.append((n, True))
+    for n in sorted(stmt_vars(body)):
+        if n not in seen:
+            seen.add(n)
+            names.append((n, False))
+    syms: list[Sym] = []
+    for n, is_arg in names[:_MAX_CANDIDATE_SYMS]:
+        if not is_arg and engine.sorts.get(n, INT) != INT:
+            continue
+        syms.append(arg_sym(n) if is_arg else var_sym(n))
+    return syms
+
+
+def _bound_constants(conds: Iterable[Expr]) -> list[int]:
+    """Constants from the loop guards, widened by one in both directions."""
+
+    out: set[int] = set()
+    for e in conds:
+        for sub in subexpressions(e):
+            if isinstance(sub, IntConst) and abs(sub.value) <= 1000:
+                out.update((sub.value - 1, sub.value, sub.value + 1))
+    return sorted(out, key=abs)
+
+
+def _candidate_pairs(
+    engine: SpEngine, syms: list[Sym], conds: list[Expr], body: Stmt
+) -> list[tuple[Sym, Sym]]:
+    """Variable pairs plausibly related by an affine equality.
+
+    Probing every pair costs one entailment per pair per pool constant, so
+    pairs are limited to those with a structural reason to be related:
+    both appear in the loop guards (induction counters), or both are
+    assigned in the body from right-hand sides calling the same library
+    functions (parallel accumulators).
+    """
+
+    from ..lang.ast import Assign, If as IfStmt, Seq, While as WhileStmt
+    from ..lang.visitors import expr_calls
+
+    cond_names: set[str] = set()
+    for e in conds:
+        cond_names |= {var_sym(n).name for n in expr_vars(e)}
+        cond_names |= {arg_sym(n).name for n in expr_args(e)}
+
+    rhs_calls: dict[str, set[str]] = {}
+
+    def walk(s: Stmt) -> None:
+        if isinstance(s, Assign):
+            rhs_calls.setdefault(var_sym(s.var).name, set()).update(expr_calls(s.expr))
+        elif isinstance(s, Seq):
+            for sub in s.stmts:
+                walk(sub)
+        elif isinstance(s, IfStmt):
+            walk(s.then)
+            walk(s.orelse)
+        elif isinstance(s, WhileStmt):
+            walk(s.body)
+
+    walk(body)
+
+    pairs: list[tuple[Sym, Sym]] = []
+    for i in range(len(syms)):
+        for j in range(i + 1, len(syms)):
+            u, v = syms[i], syms[j]
+            if u.name in cond_names and v.name in cond_names:
+                pairs.append((u, v))
+                continue
+            cu, cv = rhs_calls.get(u.name), rhs_calls.get(v.name)
+            if cu and cv and cu & cv:
+                pairs.append((u, v))
+    return pairs
+
+
+def loop_invariant(
+    engine: SpEngine,
+    solver: Solver,
+    psi: Formula,
+    conds: list[Expr],
+    body: Stmt,
+    mode: str = "probe",
+) -> Formula:
+    """Infer an inductive invariant of ``while (/\\ conds) do body`` from ``psi``.
+
+    ``mode`` selects the equality-candidate generator:
+
+    * ``'probe'`` — SMT-entailed pairwise differences (guess-and-check);
+    * ``'karr'``  — the affine-equality abstract domain
+      (:mod:`repro.analysis.affine`);
+    * ``'both'``  — the union of the two.
+
+    Candidates from every mode go through the same SMT inductiveness check,
+    so the choice affects completeness/cost, never soundness.
+    """
+
+    if mode not in ("probe", "karr", "both"):
+        raise ValueError(f"unknown invariant mode {mode!r}")
+    modified = assigned_vars(body)
+    stable = stable_conjuncts(psi, modified)
+
+    # --- candidate generation --------------------------------------------------
+    syms = _candidate_syms(engine, body, conds)
+    pool = _program_constants(body, conds)
+    candidates: list[Formula] = []
+    if mode in ("probe", "both"):
+        for u, v in _candidate_pairs(engine, syms, conds, body):
+            for c in pool:
+                cand = eq_f(t_sub(u, v), Num(c))
+                if cand == TRUE_F:
+                    break
+                if solver.entails(cone_of_influence(psi, cand), cand):
+                    candidates.append(cand)
+                    break
+    if mode in ("karr", "both"):
+        from .affine import affine_loop_invariant
+
+        karr = affine_loop_invariant(engine, psi, body)
+        karr_parts = karr.args if isinstance(karr, FAnd) else (karr,)
+        for part in karr_parts:
+            if part != TRUE_F and part not in candidates:
+                candidates.append(part)
+
+    # Bound candidates ``u <= c`` / ``c <= u`` for guard variables: these
+    # are what lets Loop 3 conclude that the longer loop's guard is still
+    # true when the shorter loop exits (e.g. ``i <= 6`` implies ``i < 10``).
+    cond_sym_names: set[str] = set()
+    for e in conds:
+        cond_sym_names |= {var_sym(n).name for n in expr_vars(e)}
+    bound_pool = _bound_constants(conds)
+    for u in syms:
+        if u.name not in cond_sym_names:
+            continue
+        for c in bound_pool:
+            for cand in (le_f(u, Num(c)), le_f(Num(c), u)):
+                if cand in (TRUE_F,) or not isinstance(cand, Le):
+                    continue
+                if solver.entails(cone_of_influence(psi, cand), cand):
+                    candidates.append(cand)
+
+    # --- inductiveness: preservation through one body execution -------------
+    entry_guard = TRUE_F
+    for e in conds:
+        entry_guard = fand(entry_guard, engine.encode_bool(e) or TRUE_F)
+
+    proven: list[Formula] = []
+    pending = list(candidates)
+    for _round in range(2):
+        still_pending: list[Formula] = []
+        for cand in pending:
+            pre = fand(stable, *proven, cand, entry_guard)
+            post = engine.post(pre, body)
+            if solver.entails(cone_of_influence(post, cand), cand):
+                proven.append(cand)
+            else:
+                still_pending.append(cand)
+        if not still_pending or len(still_pending) == len(pending):
+            break
+        pending = still_pending
+
+    return fand(stable, *proven)

@@ -1,0 +1,97 @@
+"""The ``related`` heuristic of the consolidation algorithm (Figure 8).
+
+``related(a, b)`` decides — cheaply and fallibly — whether consolidating
+``a`` against ``b`` is likely to expose cross-simplification opportunities.
+The paper suggests "checking for similar predicates or calls to the same
+function"; we implement exactly that:
+
+* two fragments are related when they call a common library function, or
+* when they contain a comparison against the *same non-trivial expression*
+  (e.g. both test ``price(row)``/a shared argument accessor against some
+  bound).
+
+Because every UDF in a batch reads the same input row, merely sharing an
+argument is deliberately *not* enough — that would make everything related
+and push the algorithm into the code-size-exploding If 3 rule for unrelated
+query families.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import Arg, BoolConst, Call, Cmp, Expr, IntConst, Stmt, StrConst, Var
+from ..lang.visitors import expr_calls, stmt_calls, stmt_exprs, subexpressions
+
+__all__ = ["related", "comparison_subjects", "expr_features", "is_trivial"]
+
+
+def is_trivial(e: Expr) -> bool:
+    """Constants, bare variables and bare arguments carry no sharing signal."""
+
+    return isinstance(e, (IntConst, StrConst, BoolConst, Var, Arg))
+
+
+_is_trivial = is_trivial
+
+
+def comparison_subjects(exprs) -> set[Expr]:
+    """Expressions used as comparison operands that carry a sharing signal.
+
+    Non-trivial operands always qualify; a bare *argument* operand does too
+    (two programs comparing the same shared input, as in Figure 6's
+    ``x > a`` vs ``x <= a``).  Constants and bare locals do not — locals
+    are renamed per program, so a syntactic match is impossible anyway
+    (semantic variable matches are probed separately by the algorithm).
+    """
+
+    subjects: set[Expr] = set()
+    for e in exprs:
+        for sub in subexpressions(e):
+            if isinstance(sub, Cmp):
+                for side in (sub.left, sub.right):
+                    if isinstance(side, Arg) or not _is_trivial(side):
+                        subjects.add(side)
+    return subjects
+
+
+def call_features(exprs) -> set:
+    """Sharing signatures of the calls in ``exprs``.
+
+    A call whose arguments are all ground (arguments/constants) contributes
+    its *full* expression — ``has_direct(row, 0, 5)`` and
+    ``has_direct(row, 0, 2)`` can share nothing, so a bare name match would
+    trigger If 3 embedding (and exponential growth) across a whole batch of
+    disjoint routes.  A call with variable arguments contributes only its
+    name: whether two such calls coincide is then a semantic question the
+    cross-simplifier settles, and loop fusion needs the optimistic signal.
+    """
+
+    keys: set = set()
+    for e in exprs:
+        for sub in subexpressions(e):
+            if isinstance(sub, Call):
+                if all(isinstance(a, (Arg, IntConst, StrConst, BoolConst)) for a in sub.args):
+                    keys.add(sub)
+                else:
+                    keys.add(sub.func)
+    return keys
+
+
+def expr_features(x: Expr | Stmt) -> tuple[set, set[Expr]]:
+    """(call signatures, comparison subjects) of an expr or stmt."""
+
+    if isinstance(x, Expr):
+        return call_features([x]), comparison_subjects([x])
+    exprs = list(stmt_exprs(x))
+    return call_features(exprs), comparison_subjects(exprs)
+
+
+def related(a: Expr | Stmt, b: Expr | Stmt) -> bool:
+    """Heuristic: is cross-simplification between ``a`` and ``b`` plausible?"""
+
+    calls_a, subjects_a = expr_features(a)
+    calls_b, subjects_b = expr_features(b)
+    if calls_a & calls_b:
+        return True
+    if subjects_a & subjects_b:
+        return True
+    return False

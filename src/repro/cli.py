@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``consolidate FILE [FILE ...]``
+    Parse programs in the concrete syntax (see ``repro.lang.parser``),
+    consolidate them, and print the merged program.  ``--domain`` supplies
+    one of the five evaluation domains' function tables so that UDFs may
+    call its accessors; ``--verify N`` re-checks Theorem 1 on the first N
+    dataset rows.
+
+``run FILE --args name=value[,name=value...]``
+    Run a single program on the given arguments and print its
+    notifications, cost and per-query latencies.
+
+``figure9`` / ``figure10``
+    Regenerate the paper's evaluation figures (textual rendering).
+
+``latency`` — run the Section 8 latency experiment on a stock batch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .consolidation import ConsolidationOptions, check_soundness, consolidate_all
+from .lang import FunctionTable, Interpreter, parse_program, program_to_str
+from .lang.parser import ParseError
+
+__all__ = ["main"]
+
+
+def _domain_dataset(name: str | None):
+    if name is None:
+        return None
+    from . import datasets as ds
+
+    makers = {
+        "weather": lambda: ds.generate_weather(cities=100),
+        "flight": lambda: ds.generate_flights(airlines=100),
+        "news": lambda: ds.generate_news(articles=500),
+        "twitter": lambda: ds.generate_twitter(tweets=500),
+        "stock": lambda: ds.generate_stocks(companies=40, total_daily_rows=20_000),
+    }
+    if name not in makers:
+        raise SystemExit(f"unknown domain {name!r}; choose from {sorted(makers)}")
+    return makers[name]()
+
+
+def _parse_args_option(text: str) -> dict:
+    out: dict = {}
+    if not text:
+        return out
+    for part in text.split(","):
+        if "=" not in part:
+            raise SystemExit(f"bad --args entry {part!r}; expected name=value")
+        name, value = part.split("=", 1)
+        try:
+            out[name.strip()] = int(value)
+        except ValueError:
+            out[name.strip()] = value
+    return out
+
+
+def _load_programs(paths):
+    programs = []
+    for path in paths:
+        try:
+            with open(path) as handle:
+                programs.append(parse_program(handle.read()))
+        except OSError as exc:
+            raise SystemExit(f"cannot read {path}: {exc}")
+        except ParseError as exc:
+            raise SystemExit(f"{path}: {exc}")
+    return programs
+
+
+def cmd_consolidate(args) -> int:
+    programs = _load_programs(args.files)
+    dataset = _domain_dataset(args.domain)
+    functions = dataset.functions if dataset else FunctionTable()
+    options = ConsolidationOptions(
+        if_rule_mode=args.if_rule_mode,
+        enable_loop_rules=not args.no_loops,
+        use_smt=not args.no_smt,
+    )
+    report = consolidate_all(programs, functions, options=options)
+    print(program_to_str(report.program))
+    print(
+        f"\n# consolidated {report.num_inputs} programs in {report.duration:.3f}s "
+        f"({report.pair_consolidations} pair merges, depth {report.tree_depth})",
+        file=sys.stderr,
+    )
+    if args.verify and dataset:
+        inputs = [{programs[0].params[0]: r} for r in dataset.rows[: args.verify]]
+        sound = check_soundness(programs, report.program, functions, inputs)
+        status = "OK" if sound.ok else f"FAILED: {sound.violations[:2]}"
+        print(
+            f"# verification on {sound.inputs_checked} rows: {status} "
+            f"(speedup {sound.speedup:.2f}x)",
+            file=sys.stderr,
+        )
+        if not sound.ok:
+            return 1
+    return 0
+
+
+def cmd_run(args) -> int:
+    (program,) = _load_programs([args.file])
+    dataset = _domain_dataset(args.domain)
+    functions = dataset.functions if dataset else FunctionTable()
+    bindings = _parse_args_option(args.args)
+    result = Interpreter(functions).run(program, bindings)
+    for pid in sorted(result.notifications):
+        print(
+            f"{pid}: {str(result.notifications[pid]).lower()} "
+            f"(latency {result.notification_costs.get(pid, '?')})"
+        )
+    print(f"cost: {result.cost}", file=sys.stderr)
+    return 0
+
+
+def cmd_figure9(args) -> int:
+    from .experiments import render_figure9, run_figure9
+
+    report = run_figure9(n_udfs=args.n_udfs, scale=args.scale, seed=args.seed)
+    print(render_figure9(report))
+    return 0
+
+
+def cmd_figure10(args) -> int:
+    from .experiments import render_figure10, run_figure10
+
+    sweep = tuple(int(x) for x in args.sweep.split(","))
+    report = run_figure10(sweep=sweep, articles=args.articles, seed=args.seed)
+    print(render_figure10(report))
+    return 0
+
+
+def cmd_latency(args) -> int:
+    from .datasets import generate_stocks
+    from .experiments import run_latency_experiment
+    from .queries import DOMAIN_QUERIES
+
+    dataset = generate_stocks(companies=30, total_daily_rows=5000)
+    programs = DOMAIN_QUERIES["stock"].make_batch(dataset, "Q1", n=args.n_udfs, seed=args.seed)
+    priority = (programs[args.priority_index].pid,)
+    report = run_latency_experiment(dataset, programs, priority=priority, row_limit=30)
+    for key, value in report.summary().items():
+        print(f"{key:24s} {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Consolidation of queries with UDFs (PLDI 2014 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("consolidate", help="merge programs from files")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--domain", help="evaluation domain supplying library functions")
+    p.add_argument("--if-rule-mode", default="heuristic", choices=["heuristic", "always_if3", "always_if5"])
+    p.add_argument("--no-loops", action="store_true", help="disable Loop 2/3 fusion")
+    p.add_argument("--no-smt", action="store_true", help="syntactic value numbering only")
+    p.add_argument("--verify", type=int, default=0, metavar="N", help="check Theorem 1 on N rows")
+    p.set_defaults(fn=cmd_consolidate)
+
+    p = sub.add_parser("run", help="run one program")
+    p.add_argument("file")
+    p.add_argument("--domain")
+    p.add_argument("--args", default="", help="comma-separated name=value bindings")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("figure9", help="regenerate Figure 9")
+    p.add_argument("--n-udfs", type=int, default=50)
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_figure9)
+
+    p = sub.add_parser("figure10", help="regenerate Figure 10")
+    p.add_argument("--sweep", default="10,25,50,100")
+    p.add_argument("--articles", type=int, default=400)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_figure10)
+
+    p = sub.add_parser("latency", help="Section 8 latency experiment")
+    p.add_argument("--n-udfs", type=int, default=10)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--priority-index", type=int, default=7)
+    p.set_defaults(fn=cmd_latency)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

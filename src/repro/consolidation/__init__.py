@@ -1,0 +1,12 @@
+"""Program consolidation: the paper's primary contribution.
+
+* :mod:`repro.consolidation.simplifier` — cross-simplification (Figure 3),
+* :mod:`repro.consolidation.algorithm` — the Ω/Ω′ algorithm (Figures 5/7/8),
+* :mod:`repro.consolidation.divide_conquer` — merging n UDFs pairwise,
+* :mod:`repro.consolidation.verify` — dynamic Theorem 1 checking.
+"""
+
+from .algorithm import ConsolidationError, ConsolidationOptions, Consolidator
+from .divide_conquer import ConsolidationReport, consolidate_all
+from .simplifier import Context, fold_expr, ir_from_linear, ir_linear
+from .verify import SoundnessReport, SoundnessViolation, check_soundness

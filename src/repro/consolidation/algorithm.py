@@ -1,0 +1,507 @@
+"""The consolidation algorithm Ω/Ω′ (Figure 8 of the paper).
+
+:class:`Consolidator` merges two programs over the same input into one
+program that broadcasts both results at no greater cost (Definition 1 /
+Theorem 1).  The strategy follows the paper line by line:
+
+* assignments and notifications are *simplified and consumed* (Assign/Step
+  rules), growing the context ``Ψ`` through strongest postconditions;
+* conditionals are resolved by If 1/If 2 when ``Ψ`` decides the test, and
+  otherwise dispatched between If 3 (embed the whole second program in both
+  branches), the derived If 4 (embed it, but keep the continuation outside)
+  and the derived If 5 (only cross-simplify the test) using the ``related``
+  heuristic — the simplification-vs-code-size trade-off of Section 4;
+* a pair of loops is fused by Loop 2 when the inferred invariant proves the
+  loops run the same number of times, by Loop 3 when it proves one runs
+  longer, and is otherwise executed sequentially (Step/Seq);
+* commutativity (Com) is applied sparingly: when the first program is
+  exhausted, or when only the first starts with a loop (lines 5 and 32).
+
+Every rewrite is justified by an SMT validity check against ``Ψ`` and a
+static cost comparison, so the output is never costlier than sequential
+execution; the :mod:`repro.consolidation.verify` module re-checks this
+dynamically on concrete inputs, and the property-based test-suite does so
+on random programs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.invariants import loop_invariant
+from ..analysis.related import call_features, expr_features, is_trivial
+from ..lang.ast import Cmp, Var
+from ..lang.visitors import stmt_exprs, subexpressions, substitute
+from ..analysis.sp import SpEngine
+from ..lang.ast import (
+    Assign,
+    BoolConst,
+    Expr,
+    FALSE,
+    If,
+    Notify,
+    Program,
+    SKIP,
+    Skip,
+    Stmt,
+    TRUE,
+    While,
+    seq,
+    seq_head,
+    seq_tail,
+)
+from ..lang.cost import DEFAULT_COST_MODEL, CostModel
+from ..lang.functions import FunctionTable
+from ..lang.visitors import (
+    assigned_vars,
+    expr_calls,
+    expr_vars,
+    notified_pids,
+    rename_locals,
+    stmt_size,
+    stmt_vars,
+)
+from ..smt.solver import Solver
+from ..smt.terms import TRUE_F, cone_of_influence, fand, fiff, fnot
+from .simplifier import Context
+
+__all__ = ["ConsolidationOptions", "Consolidator", "ConsolidationError"]
+
+
+class ConsolidationError(Exception):
+    """The inputs violate a precondition of consolidation."""
+
+
+def _comparison_vars(e):
+    """Bare variables used as comparison operands in ``e``."""
+
+    for sub in subexpressions(e):
+        if isinstance(sub, Cmp):
+            for side in (sub.left, sub.right):
+                if isinstance(side, Var):
+                    yield side.name
+
+
+@dataclass
+class ConsolidationOptions:
+    """Strategy knobs (the ablation benchmarks sweep these).
+
+    ``if_rule_mode``:
+        ``'heuristic'`` — the paper's algorithm (If 3/4/5 via ``related``);
+        ``'always_if3'`` — maximal embedding (largest output, most sharing);
+        ``'always_if5'`` — minimal embedding (smallest output, least sharing).
+    ``enable_loop_rules``:
+        When False, loop pairs always execute sequentially (ablation for
+        Loop 2/Loop 3).
+    ``use_smt``:
+        When False, only syntactic value-numbering is used — no entailment
+        checks, no If 1/If 2, no loop fusion (ablation for the SMT engine).
+    ``max_embed_size``:
+        Node-count guard above which If 3/If 4 are downgraded to If 5,
+        taming the exponential blow-up the paper's Section 4 remark warns
+        about.  Embedding pays when it can kill *expensive* computation in
+        a branch; once programs grow past this size, cross-call sharing is
+        already captured by the Assign rule (value numbering survives an
+        If 5 join), so only cheap test elimination is forgone.
+    ``simplify_loop_bodies``:
+        Self-simplify loop bodies under their havoc context when a loop is
+        stepped over.
+    """
+
+    if_rule_mode: str = "heuristic"
+    enable_loop_rules: bool = True
+    use_smt: bool = True
+    max_embed_size: int = 160
+    simplify_loop_bodies: bool = True
+    invariant_engine: str = "probe"  # 'probe' | 'karr' | 'both' 
+
+    def __post_init__(self) -> None:
+        if self.if_rule_mode not in ("heuristic", "always_if3", "always_if5"):
+            raise ValueError(f"unknown if_rule_mode {self.if_rule_mode!r}")
+
+
+class Consolidator:
+    """Merges programs pairwise; reusable (and cache-sharing) across pairs."""
+
+    def __init__(
+        self,
+        functions: FunctionTable,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        options: ConsolidationOptions | None = None,
+        solver: Solver | None = None,
+    ) -> None:
+        self.functions = functions
+        self.cost_model = cost_model
+        self.options = options or ConsolidationOptions()
+        self.solver = solver or Solver()
+        self.trace: list[str] = []
+        self.last_duration: float = 0.0
+
+    # -- public API ---------------------------------------------------------
+
+    def consolidate(self, p1: Program, p2: Program) -> Program:
+        """``Ω``: consolidate two whole programs (Figure 8, line 2)."""
+
+        if p1.params != p2.params:
+            raise ConsolidationError(
+                f"programs take different inputs: {p1.params} vs {p2.params}"
+            )
+        pids1, pids2 = notified_pids(p1.body), notified_pids(p2.body)
+        if pids1 & pids2:
+            raise ConsolidationError(f"programs share notification ids: {pids1 & pids2}")
+
+        started = time.perf_counter()
+        self.trace = []
+        # Establish the disjoint-locals precondition mechanically.
+        q1 = rename_locals(p1)
+        q2 = rename_locals(p2)
+        engine = SpEngine(self.functions)
+        ctx = Context(
+            engine=engine,
+            solver=self.solver,
+            cost_model=self.cost_model,
+            psi=TRUE_F,
+            use_smt=self.options.use_smt,
+        )
+        body = self._omega(ctx, q1.body, q2.body)
+        self.last_duration = time.perf_counter() - started
+        return Program(f"{p1.pid}&{p2.pid}", p1.params, body)
+
+    # -- Ω′ ----------------------------------------------------------------------
+
+    def _omega(self, ctx: Context, s: Stmt, r: Stmt) -> Stmt:
+        """``Ω′``: consolidate two statements under context ``ctx``."""
+
+        # Line 4: both consumed.
+        if isinstance(s, Skip) and isinstance(r, Skip):
+            return SKIP
+        # Line 5: first consumed — commute so the second gets simplified.
+        if isinstance(s, Skip):
+            self.trace.append("Com")
+            return self._omega(ctx, r, SKIP)
+
+        head, tail = seq_head(s), seq_tail(s)
+
+        # Line 7: Assign rule — simplify, emit, absorb into the context.
+        if isinstance(head, Assign):
+            self.trace.append("Assign")
+            rhs = ctx.simplify_for_sort(head.expr)
+            ctx.record_assign(head.var, rhs)
+            rest = self._omega(ctx, tail, r)
+            return seq(Assign(head.var, rhs), rest)
+
+        # Line 8: Step over a notification (payload still cross-simplifies).
+        if isinstance(head, Notify):
+            self.trace.append("Step")
+            payload = ctx.simplify_bool(head.expr)
+            rest = self._omega(ctx, tail, r)
+            return seq(Notify(head.pid, payload), rest)
+
+        # Lines 9-18: conditionals.
+        if isinstance(head, If):
+            return self._consolidate_if(ctx, head, tail, r)
+
+        # Lines 19-32: loops.
+        if isinstance(head, While):
+            return self._consolidate_while(ctx, head, tail, r)
+
+        raise ConsolidationError(f"unhandled statement {head!r}")
+
+    # -- conditionals --------------------------------------------------------------
+
+    def _consolidate_if(self, ctx: Context, head: If, cont: Stmt, other: Stmt) -> Stmt:
+        cond = head.cond
+
+        # If 1: the context proves the test — drop it and the dead branch.
+        if ctx.entails_expr(cond):
+            self.trace.append("If1")
+            ctx.psi = ctx.assume(cond)
+            return self._omega(ctx, seq(head.then, cont), other)
+
+        # If 2: the context refutes the test.
+        if ctx.entails_expr(cond, negate=True):
+            self.trace.append("If2")
+            ctx.psi = ctx.assume(cond, negate=True)
+            return self._omega(ctx, seq(head.orelse, cont), other)
+
+        cond2 = ctx.simplify_bool(cond)
+        if cond2 == TRUE:
+            self.trace.append("If1")
+            return self._omega(ctx.branch(ctx.assume(cond)), seq(head.then, cont), other)
+        if cond2 == FALSE:
+            self.trace.append("If2")
+            return self._omega(
+                ctx.branch(ctx.assume(cond, negate=True)), seq(head.orelse, cont), other
+            )
+
+        # Rule selection: If 3 vs the derived If 4 / If 5 (lines 14-18).
+        mode = self.options.if_rule_mode
+        if mode == "always_if3":
+            use_if3, use_if4 = True, False
+        elif mode == "always_if5":
+            use_if3, use_if4 = False, False
+        else:
+            rel_cond = self._related(ctx, cond, other) if not isinstance(other, Skip) else False
+            rel_cont = self._related(ctx, cont, other) if not isinstance(other, Skip) else False
+            # An empty continuation makes If 3 and If 4 coincide; report the
+            # canonical (If 3) rule in that case.
+            use_if3 = rel_cond and (rel_cont or isinstance(cont, Skip))
+            use_if4 = rel_cond and not use_if3
+        embedded_size = stmt_size(cont) + stmt_size(other)
+        if use_if3 and embedded_size > self.options.max_embed_size:
+            use_if3, use_if4 = False, True
+        if use_if4 and stmt_size(other) > self.options.max_embed_size:
+            use_if4 = False
+
+        then_ctx = ctx.branch(ctx.assume(cond))
+        else_ctx = ctx.branch(ctx.assume(cond, negate=True))
+
+        if use_if3:
+            # If 3: embed the remainder of *both* programs in the branches.
+            self.trace.append("If3")
+            s1 = self._omega(then_ctx, seq(head.then, cont), other)
+            s2 = self._omega(else_ctx, seq(head.orelse, cont), other)
+            return self._make_if(cond2, s1, s2)
+
+        if use_if4:
+            # If 4 (derived): embed the other program, keep our continuation out.
+            self.trace.append("If4")
+            s1 = self._omega(then_ctx, head.then, other)
+            s2 = self._omega(else_ctx, head.orelse, other)
+            self._join_after(ctx, If(cond, head.then, head.orelse), other)
+            rest = self._omega(ctx, cont, SKIP)
+            return seq(self._make_if(cond2, s1, s2), rest)
+
+        # If 5 (derived): simplify the test, keep everything else linear.
+        self.trace.append("If5")
+        s1 = self._omega(then_ctx, head.then, SKIP)
+        s2 = self._omega(else_ctx, head.orelse, SKIP)
+        self._join_after(ctx, If(cond, head.then, head.orelse), SKIP)
+        rest = self._omega(ctx, cont, other)
+        return seq(self._make_if(cond2, s1, s2), rest)
+
+    @staticmethod
+    def _make_if(cond: Expr, then: Stmt, orelse: Stmt) -> Stmt:
+        """Build a conditional, eliding the test when both arms agree.
+
+        ``S (+)e S`` is equivalent to ``S`` for our pure, total conditions,
+        and strictly cheaper (the test and branch cost disappear) — this is
+        how the dead ``price`` test vanishes from Example 1's else arm.
+        """
+
+        if then == orelse:
+            return then
+        return If(cond, then, orelse)
+
+    def _expand_defs(self, ctx: Context, e: Expr, depth: int = 4) -> Expr:
+        """Substitute consumed definitions into ``e``, transitively.
+
+        ``q1.t -> q0.t -> has_direct(@row, 0, 1)`` must expand all the way
+        for the sharing signal to surface after cross-rewrites chained
+        variables together.
+        """
+
+        for _ in range(depth):
+            mapping = {
+                Var(n): d for n, d in ctx.defs.items() if n in expr_vars(e)
+            }
+            if not mapping:
+                return e
+            expanded = substitute(e, mapping)
+            if expanded == e:
+                return e
+            e = expanded
+        return e
+
+    def _features(self, ctx: Context, x: Expr | Stmt) -> tuple[set, set[Expr], set[str]]:
+        """``related`` features of ``x``, expanded through consumed definitions.
+
+        After ``name := toLower(airline(@fi))`` has been consumed, a later
+        test on ``name`` must still count as related to another program that
+        calls ``toLower`` — the definition table restores that visibility.
+        Returns (call signatures, comparison subjects, bare-var subjects).
+        """
+
+        exprs = [x] if isinstance(x, Expr) else list(stmt_exprs(x))
+        expanded = [self._expand_defs(ctx, e) for e in exprs]
+        calls, subjects = expr_features(x)
+        for e in expanded:
+            more_calls, more_subjects = expr_features(e)
+            calls |= more_calls
+            subjects |= more_subjects
+        var_subjects: set[str] = set()
+        for e in exprs:
+            for sub in _comparison_vars(e):
+                var_subjects.add(sub)
+        return calls, subjects, var_subjects
+
+    def _related(self, ctx: Context, a: Expr | Stmt, b: Expr | Stmt) -> bool:
+        calls_a, subjects_a, vars_a = self._features(ctx, a)
+        calls_b, subjects_b, vars_b = self._features(ctx, b)
+        if (calls_a & calls_b) or (subjects_a & subjects_b):
+            return True
+        # Variables compared against bounds on both sides may be equal only
+        # semantically (an invariant proved them so); probe a few pairs.
+        if ctx.use_smt and vars_a and vars_b:
+            pairs = [
+                (u, v)
+                for u in sorted(vars_a)
+                for v in sorted(vars_b)
+                if u != v
+            ][:6]
+            for u, v in pairs:
+                if ctx.provably_equal(Var(u), Var(v)):
+                    return True
+        return False
+
+    def _join_after(self, ctx: Context, executed: Stmt, absorbed: Stmt) -> None:
+        """Advance ``ctx`` past statements whose effect happened in branches.
+
+        The precise join would be the *disjunction* of the branch
+        postconditions, but that doubles ``Ψ`` at every conditional and the
+        solver cost compounds exponentially along a consolidated batch.  We
+        havoc the branch-written variables instead — a sound weakening that
+        keeps ``Ψ`` conjunctive and linear-sized; branch-local facts were
+        already exploited while the branches themselves were consolidated.
+        """
+
+        killed = assigned_vars(executed)
+        if not isinstance(absorbed, Skip):
+            killed |= assigned_vars(absorbed)
+        ctx.psi = ctx.engine.havoc(ctx.psi, killed)
+        ctx.kill_vars(killed)
+
+    # -- loops ------------------------------------------------------------------------
+
+    def _consolidate_while(self, ctx: Context, head: While, cont: Stmt, other: Stmt) -> Stmt:
+        other_head = seq_head(other)
+        other_tail = seq_tail(other)
+
+        if isinstance(other_head, While):
+            if self.options.enable_loop_rules and ctx.use_smt:
+                fused = self._try_loop_fusion(ctx, head, cont, other_head, other_tail)
+                if fused is not None:
+                    return fused
+            # Lines 29-31: no provable relation (or loop rules disabled) —
+            # run the loops sequentially.
+            self.trace.append("Seq")
+            emitted = self._emit_loop(ctx, head)
+            rest = self._omega(ctx, cont, other)
+            return seq(emitted, rest)
+
+        if isinstance(other, Skip):
+            emitted = self._emit_loop(ctx, head)
+            rest = self._omega(ctx, cont, SKIP)
+            return seq(emitted, rest)
+
+        # Line 32: only the first program starts with a loop — commute so the
+        # other side is absorbed into the context first.
+        self.trace.append("Com")
+        return self._omega(ctx, other, seq(head, cont))
+
+    def _try_loop_fusion(
+        self,
+        ctx: Context,
+        w1: While,
+        cont1: Stmt,
+        w2: While,
+        cont2: Stmt,
+    ) -> Stmt | None:
+        """Loop 2 / Loop 3 (Figure 7); None when no relation is provable."""
+
+        e1, s1 = w1.cond, w1.body
+        e2, s2 = w2.cond, w2.body
+        merged_body = seq(s1, s2)
+        psi1 = loop_invariant(
+            ctx.engine,
+            ctx.solver,
+            ctx.psi,
+            [e1, e2],
+            merged_body,
+            mode=self.options.invariant_engine,
+        )
+        enc1 = ctx.engine.encode_bool(e1)
+        enc2 = ctx.engine.encode_bool(e2)
+        if enc1 is None or enc2 is None:
+            return None
+
+        # Loop 2: Ψ1 |= e1 <-> e2 — both loops run the same number of times.
+        iff_goal = fiff(enc1, enc2)
+        if ctx.solver.entails(cone_of_influence(psi1, iff_goal), iff_goal):
+            self.trace.append("Loop2")
+            body_ctx = ctx.branch(fand(psi1, enc1))
+            body_ctx.bindings = {}
+            body = self._omega(body_ctx, s1, s2)
+            ctx.psi = fand(psi1, fnot(enc1))
+            ctx.bindings = {}
+            rest = self._omega(ctx, cont1, cont2)
+            return seq(While(e1, body), rest)
+
+        exit_ctx = fand(psi1, fnot(fand(enc1, enc2)))
+
+        # Loop 3: the first loop provably runs at least as long.
+        if ctx.solver.entails(cone_of_influence(exit_ctx, enc1), enc1):
+            self.trace.append("Loop3")
+            body_ctx = ctx.branch(fand(psi1, enc2))
+            body_ctx.bindings = {}
+            body = self._omega(body_ctx, s1, s2)
+            ctx.psi = fand(psi1, fnot(enc2))
+            ctx.bindings = {}
+            remainder = seq(s1, While(e1, s1), cont1)
+            rest = self._omega(ctx, remainder, cont2)
+            return seq(While(e2, body), rest)
+
+        # Loop 3 with the arguments swapped (implicit Com, line 27-28).
+        if ctx.solver.entails(cone_of_influence(exit_ctx, enc2), enc2):
+            self.trace.append("Loop3")
+            body_ctx = ctx.branch(fand(psi1, enc1))
+            body_ctx.bindings = {}
+            body = self._omega(body_ctx, s2, s1)
+            ctx.psi = fand(psi1, fnot(enc1))
+            ctx.bindings = {}
+            remainder = seq(s2, While(e2, s2), cont2)
+            rest = self._omega(ctx, remainder, cont1)
+            return seq(While(e1, body), rest)
+
+        return None
+
+    def _emit_loop(self, ctx: Context, w: While) -> Stmt:
+        """Step over one loop, self-simplifying it under its havoc context.
+
+        The guard and body may only be rewritten under a context that holds
+        at *every* iteration entry: the entry context with all body-written
+        variables havocked (plus the guard itself, for the body).
+        """
+
+        body_vars = assigned_vars(w.body)
+
+        # A guard refuted by the *entry* context means the loop never runs
+        # at all (its body cannot have executed first), so the whole loop —
+        # including the first test — disappears (Loop-expand + If 2).
+        if ctx.entails_expr(w.cond, negate=True):
+            self.trace.append("LoopDrop")
+            return SKIP
+
+        havocked = ctx.engine.havoc(ctx.psi, body_vars)
+        inv_ctx = ctx.branch(havocked)
+        inv_ctx.bindings = {}
+        cond2 = inv_ctx.simplify_bool(w.cond)
+
+        if cond2 == FALSE:
+            # False at every reachable loop head (proved under the havoc
+            # context, which the entry state satisfies too).
+            self.trace.append("LoopDrop")
+            return SKIP
+
+        if self.options.simplify_loop_bodies:
+            body_ctx = inv_ctx.branch(inv_ctx.assume(w.cond))
+            body_ctx.bindings = {}
+            body = self._omega(body_ctx, w.body, SKIP)
+        else:
+            body = w.body
+
+        self.trace.append("Step")
+        ctx.psi = ctx.engine.post(ctx.psi, w)
+        ctx.kill_vars(body_vars)
+        return While(cond2 if cond2 != TRUE else w.cond, body)

@@ -1,0 +1,101 @@
+"""Dynamic soundness checking of consolidation (Theorem 1, executed).
+
+Given the original programs and their consolidation, re-run both sides on
+concrete inputs and check Definition 1:
+
+* identical notification environments (``N1 ⊎ N2``), and
+* consolidated cost ≤ the sum of the individual costs.
+
+This is used three ways: by the property-based test-suite on random
+programs, by the experiment harness as a sanity gate before timing runs,
+and as a debugging aid (`explain=True` renders a counter-example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..lang.cost import DEFAULT_COST_MODEL, CostModel
+from ..lang.functions import FunctionTable
+from ..lang.ast import Program
+from ..lang.interp import Interpreter, RunResult, run_sequentially
+from ..lang.printer import program_to_str
+
+__all__ = ["SoundnessViolation", "SoundnessReport", "check_soundness"]
+
+
+@dataclass
+class SoundnessViolation:
+    """One input on which consolidation broke Definition 1."""
+
+    args: dict
+    kind: str  # 'notifications' | 'cost' | 'error'
+    detail: str
+
+
+@dataclass
+class SoundnessReport:
+    """Aggregate outcome over a batch of inputs."""
+
+    inputs_checked: int = 0
+    sequential_cost: int = 0
+    consolidated_cost: int = 0
+    violations: list[SoundnessViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def speedup(self) -> float:
+        if self.consolidated_cost == 0:
+            return float("inf") if self.sequential_cost else 1.0
+        return self.sequential_cost / self.consolidated_cost
+
+
+def check_soundness(
+    originals: list[Program],
+    consolidated: Program,
+    functions: FunctionTable,
+    inputs: Iterable[Mapping[str, object]],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    explain: bool = False,
+    max_violations: int = 5,
+) -> SoundnessReport:
+    """Check Definition 1 on every input; never raises on violation."""
+
+    interp = Interpreter(functions, cost_model)
+    report = SoundnessReport()
+    for args in inputs:
+        report.inputs_checked += 1
+        try:
+            seq_result = run_sequentially(originals, args, functions, cost_model)
+            con_result = interp.run(consolidated, args)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            report.violations.append(
+                SoundnessViolation(dict(args), "error", f"{type(exc).__name__}: {exc}")
+            )
+            if len(report.violations) >= max_violations:
+                break
+            continue
+        report.sequential_cost += seq_result.cost
+        report.consolidated_cost += con_result.cost
+        if con_result.notifications != seq_result.notifications:
+            detail = (
+                f"expected {seq_result.notifications}, got {con_result.notifications}"
+            )
+            if explain:
+                detail += "\n" + program_to_str(consolidated)
+            report.violations.append(SoundnessViolation(dict(args), "notifications", detail))
+        elif con_result.cost > seq_result.cost:
+            report.violations.append(
+                SoundnessViolation(
+                    dict(args),
+                    "cost",
+                    f"consolidated {con_result.cost} > sequential {seq_result.cost}",
+                )
+            )
+        if len(report.violations) >= max_violations:
+            break
+    return report

@@ -1,0 +1,8 @@
+"""Seeded synthetic datasets matching the paper's five evaluation domains."""
+
+from .flights import generate_flights
+from .news import QUERY_WORDS, generate_news
+from .records import Dataset, zipf_sample
+from .stocks import generate_stocks
+from .twitter import LANGUAGES, SENTIMENTS, TOPICS, generate_twitter
+from .weather import MONTHS, generate_weather

@@ -1,0 +1,88 @@
+"""Synthetic flight data (Section 6.2, Flight).
+
+The paper generated flights for the first half of November 2013: 500
+airlines, 10 world cities, 12 daily flights between all city pairs, a
+quarter of them domestic, with price computed by "a multiple arithmetic
+progression dependent on the airline and the identifiers of the origin and
+destination cities".  We reproduce exactly that price law — prices are a
+deterministic arithmetic function of (airline, src, dst) — plus route
+availability drawn per airline.
+
+Rows are airline handles ``0..airlines-1``; query parameters are city
+identifiers ``0..cities-1`` and price bounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..lang.functions import FunctionTable, LibraryFunction
+from .records import Dataset
+
+__all__ = ["generate_flights"]
+
+
+def generate_flights(airlines: int = 500, cities: int = 10, seed: int = 2013) -> Dataset:
+    rng = random.Random(seed)
+
+    # Which city pairs each airline serves directly.
+    serves: dict[int, set[tuple[int, int]]] = {}
+    hub: dict[int, int] = {}
+    for a in range(airlines):
+        hub[a] = rng.randrange(cities)
+        pairs: set[tuple[int, int]] = set()
+        # Every airline serves its hub fan-out plus a random assortment.
+        for c in range(cities):
+            if c != hub[a]:
+                pairs.add((hub[a], c))
+                pairs.add((c, hub[a]))
+        for _ in range(rng.randrange(4, 14)):
+            s, d = rng.randrange(cities), rng.randrange(cities)
+            if s != d:
+                pairs.add((s, d))
+        serves[a] = pairs
+
+    def direct_price(a: int, src: int, dst: int) -> int:
+        # The paper's "multiple arithmetic progression" on identifiers.
+        return 60 + 13 * (a % 29) + 21 * src + 17 * dst + 7 * ((a + src * dst) % 11)
+
+    def has_direct(a: int, src: int, dst: int) -> int:
+        return 1 if (src, dst) in serves[a] else 0
+
+    def has_connection(a: int, src: int, dst: int) -> int:
+        if (src, dst) in serves[a]:
+            return 1
+        via = hub[a]
+        return 1 if (src, via) in serves[a] and (via, dst) in serves[a] else 0
+
+    def connecting_price(a: int, src: int, dst: int) -> int:
+        if (src, dst) in serves[a]:
+            return direct_price(a, src, dst)
+        via = hub[a]
+        return direct_price(a, src, via) + direct_price(a, via, dst) - 25
+
+    def avg_price(a: int, src: int, dst: int) -> int:
+        # Average over the 12 daily departures (deterministic fare spread).
+        base = direct_price(a, src, dst)
+        return base + 6  # the arithmetic fare ladder averages +6 over base
+
+    functions = FunctionTable(
+        [
+            LibraryFunction("has_direct", has_direct, cost=25),
+            LibraryFunction("direct_price", direct_price, cost=30),
+            LibraryFunction("has_connection", has_connection, cost=60),
+            LibraryFunction("connecting_price", connecting_price, cost=80),
+            LibraryFunction("avg_price", avg_price, cost=120),
+        ]
+    )
+    return Dataset(
+        name="flight",
+        rows=list(range(airlines)),
+        functions=functions,
+        description=(
+            f"{airlines} airlines x {cities} cities, 12 daily flights per "
+            "served pair (Nov 1-15 2013 style); prices follow the paper's "
+            "arithmetic-progression law"
+        ),
+        meta={"cities": cities},
+    )

@@ -1,0 +1,7 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .figure10 import DEFAULT_SWEEP, Figure10Report, ScalabilityPoint, run_figure10
+from .figure9 import DOMAIN_ORDER, Figure9Report, make_datasets, run_figure9
+from .harness import ExperimentResult, SoundnessError, run_experiment
+from .latency import LatencyReport, run_latency_experiment
+from .report import format_table, render_figure10, render_figure9

@@ -1,0 +1,4 @@
+"""Python-AST frontend: write UDFs as restricted Python functions."""
+
+from .errors import TranslationError
+from .translate import translate_source, translate_udf

@@ -1,0 +1,15 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+__all__ = ["TranslationError"]
+
+
+class TranslationError(Exception):
+    """The Python function falls outside the translatable subset.
+
+    The message carries the offending construct and source location so UDF
+    authors can adjust; everything the paper's UDFs need (assignments,
+    arithmetic, comparisons, boolean logic, if/elif/else, while, early
+    returns, accessor calls) is inside the subset.
+    """

@@ -1,0 +1,343 @@
+"""Translating restricted Python functions into IR programs.
+
+The paper's UDFs are "well-behaved" C# functions: deterministic,
+side-effect free, calling library accessors over the input row.  This
+module provides the same authoring convenience for Python — a filter is an
+ordinary function::
+
+    def cheap_united(fi, bound=200):
+        if price(fi) >= bound:
+            return False
+        return to_lower(airline_name(fi)) == "united"
+
+    program = translate_udf(cheap_united, pid="q7", consts={"bound": 150})
+
+and is translated by ``ast`` introspection into the Figure 1 language.
+
+Supported subset
+----------------
+* statements: assignment to locals (including ``+=``/``-=``/``*=``),
+  ``if``/``elif``/``else``, ``while``, ``return`` (anywhere — early returns
+  are linearised by pushing the continuation into non-returning branches),
+  ``pass``;
+* expressions: int/str/bool literals, parameter and local names, ``+ - *``,
+  unary ``-``, comparisons (including chains like ``0 <= x < 12``),
+  ``and``/``or``/``not``, calls ``f(e...)`` to library functions, and
+  method/attribute sugar — ``row.price`` and ``row.price()`` both become
+  the accessor call ``price(row)``.
+
+Query *parameters* (the per-instance constants of a query family) are
+declared as extra function parameters and bound via ``consts=...``; the
+first parameter is always the row handle.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Mapping
+
+from ..lang.ast import (
+    Arg,
+    Assign,
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Call,
+    Cmp,
+    Expr,
+    If,
+    IntConst,
+    Not,
+    Notify,
+    Program,
+    SKIP,
+    Stmt,
+    StrConst,
+    Var,
+    While,
+    seq,
+)
+from ..lang.functions import FunctionTable
+from .errors import TranslationError
+
+__all__ = ["translate_udf", "translate_source"]
+
+_CMP_MAP = {
+    ast.Lt: lambda a, b: Cmp("<", a, b),
+    ast.LtE: lambda a, b: Cmp("<=", a, b),
+    ast.Gt: lambda a, b: Cmp("<", b, a),
+    ast.GtE: lambda a, b: Cmp("<=", b, a),
+    ast.Eq: lambda a, b: Cmp("=", a, b),
+    ast.NotEq: lambda a, b: Not(Cmp("=", a, b)),
+}
+
+_BINOP_MAP = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*"}
+
+
+def _fail(node: ast.AST, message: str) -> TranslationError:
+    line = getattr(node, "lineno", "?")
+    return TranslationError(f"line {line}: {message}")
+
+
+class _Translator:
+    def __init__(
+        self,
+        pid: str,
+        row_param: str,
+        consts: Mapping[str, object],
+        functions: FunctionTable | None,
+    ) -> None:
+        self.pid = pid
+        self.row_param = row_param
+        self.consts = dict(consts)
+        self.functions = functions
+        self.locals: set[str] = set()
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: ast.expr) -> Expr:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return BoolConst(v)
+            if isinstance(v, int):
+                return IntConst(v)
+            if isinstance(v, str):
+                return StrConst(v)
+            raise _fail(node, f"unsupported literal {v!r}")
+        if isinstance(node, ast.Name):
+            return self._name(node)
+        if isinstance(node, ast.BinOp):
+            op = _BINOP_MAP.get(type(node.op))
+            if op is None:
+                raise _fail(node, f"unsupported operator {type(node.op).__name__}")
+            return BinOp(op, self.expr(node.left), self.expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                operand = self.expr(node.operand)
+                if isinstance(operand, IntConst):
+                    return IntConst(-operand.value)
+                return BinOp("-", IntConst(0), operand)
+            if isinstance(node.op, ast.Not):
+                return Not(self.expr(node.operand))
+            raise _fail(node, f"unsupported unary {type(node.op).__name__}")
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            result = self.expr(node.values[0])
+            for value in node.values[1:]:
+                result = BoolOp(op, result, self.expr(value))
+            return result
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Attribute):
+            # row.price  ==>  price(row)   (field access as accessor call)
+            return Call(node.attr, (self.expr(node.value),))
+        raise _fail(node, f"unsupported expression {type(node).__name__}")
+
+    def _name(self, node: ast.Name) -> Expr:
+        name = node.id
+        if name in self.consts:
+            value = self.consts[name]
+            if isinstance(value, bool):
+                return BoolConst(value)
+            if isinstance(value, int):
+                return IntConst(value)
+            if isinstance(value, str):
+                return StrConst(value)
+            raise _fail(node, f"constant {name}={value!r} has unsupported type")
+        if name == self.row_param:
+            return Arg(name)
+        if name in self.locals:
+            return Var(name)
+        raise _fail(node, f"unbound name {name!r} (declare it a parameter or assign first)")
+
+    def _compare(self, node: ast.Compare) -> Expr:
+        operands = [self.expr(v) for v in [node.left, *node.comparators]]
+        parts: list[Expr] = []
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            builder = _CMP_MAP.get(type(op))
+            if builder is None:
+                raise _fail(node, f"unsupported comparison {type(op).__name__}")
+            parts.append(builder(left, right))
+        result = parts[0]
+        for p in parts[1:]:
+            result = BoolOp("and", result, p)
+        return result
+
+    def _call(self, node: ast.Call) -> Expr:
+        if node.keywords:
+            raise _fail(node, "keyword arguments are not supported in UDF calls")
+        if isinstance(node.func, ast.Name):
+            func = node.func.id
+            args = tuple(self.expr(a) for a in node.args)
+        elif isinstance(node.func, ast.Attribute):
+            # wi.get_temp(m)  ==>  get_temp(wi, m)   (method sugar)
+            func = node.func.attr
+            receiver = self.expr(node.func.value)
+            args = (receiver, *(self.expr(a) for a in node.args))
+        else:
+            raise _fail(node, "only direct or method-style calls are supported")
+        if self.functions is not None and func not in self.functions:
+            raise _fail(node, f"unknown library function {func!r}")
+        return Call(func, args)
+
+    # -- statements -----------------------------------------------------------
+
+    def block(
+        self, body: list[ast.stmt], continuation: Stmt, cont_returns: bool
+    ) -> tuple[Stmt, bool]:
+        """Translate a statement list; returns (IR, every-path-returns).
+
+        ``continuation`` is the already-translated code that runs after this
+        block on fall-through paths (``cont_returns`` says whether *it*
+        always returns); it is pushed into the non-returning branches of
+        conditionals, which is how early returns linearise.
+        """
+
+        result, returns = continuation, cont_returns
+        for index in range(len(body) - 1, -1, -1):
+            node = body[index]
+            result, returns, terminal = self.stmt(node, result, returns)
+            if terminal and index < len(body) - 1:
+                # Anything after an always-returning statement is dead; the
+                # subset forbids it to keep intent unambiguous.
+                raise _fail(body[index + 1], "unreachable code after return")
+        return result, returns
+
+    def stmt(
+        self, node: ast.stmt, continuation: Stmt, cont_returns: bool
+    ) -> tuple[Stmt, bool, bool]:
+        """Translate one statement; returns (IR, always-returns, terminal).
+
+        ``terminal`` means the statement alone ends every path (so any
+        following code would be unreachable).
+        """
+
+        if isinstance(node, ast.Pass):
+            return continuation, cont_returns, False
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                raise _fail(node, "UDF must return a boolean expression")
+            payload = self.expr(node.value)
+            return Notify(self.pid, payload), True, True
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+                raise _fail(node, "only single-variable assignment is supported")
+            name = node.targets[0].id
+            if name in self.consts or name == self.row_param:
+                raise _fail(node, f"cannot assign to parameter {name!r}")
+            value = self.expr(node.value)
+            self.locals.add(name)
+            return seq(Assign(name, value), continuation), cont_returns, False
+        if isinstance(node, ast.AugAssign):
+            if not isinstance(node.target, ast.Name):
+                raise _fail(node, "augmented assignment target must be a name")
+            op = _BINOP_MAP.get(type(node.op))
+            if op is None:
+                raise _fail(node, f"unsupported operator {type(node.op).__name__}")
+            name = node.target.id
+            if name not in self.locals:
+                raise _fail(node, f"augmented assignment to unbound {name!r}")
+            value = BinOp(op, Var(name), self.expr(node.value))
+            return seq(Assign(name, value), continuation), cont_returns, False
+        if isinstance(node, ast.If):
+            cond = self.expr(node.test)
+            then, then_returns = self.block(node.body, SKIP, False)
+            orelse, else_returns = self.block(node.orelse, SKIP, False)
+            if then_returns and else_returns:
+                return If(cond, then, orelse), True, True
+            # Embed the continuation only into branches that fall through.
+            if then_returns:
+                merged = If(cond, then, seq(orelse, continuation))
+            elif else_returns:
+                merged = If(cond, seq(then, continuation), orelse)
+            else:
+                merged = seq(If(cond, then, orelse), continuation)
+            always = (then_returns or cont_returns) and (else_returns or cont_returns)
+            return merged, always, False
+        if isinstance(node, ast.While):
+            if node.orelse:
+                raise _fail(node, "while/else is not supported")
+            cond = self.expr(node.test)
+            if _returns_somewhere(node.body):
+                raise _fail(node, "return inside a loop body is not supported")
+            body, _returns = self.block(node.body, SKIP, False)
+            return seq(While(cond, body), continuation), cont_returns, False
+        raise _fail(node, f"unsupported statement {type(node).__name__}")
+
+
+def _returns_somewhere(body: list[ast.stmt]) -> bool:
+    for node in body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Return):
+                return True
+    return False
+
+
+def translate_source(
+    source: str,
+    pid: str,
+    consts: Mapping[str, object] | None = None,
+    functions: FunctionTable | None = None,
+) -> Program:
+    """Translate the single function definition contained in ``source``."""
+
+    tree = ast.parse(textwrap.dedent(source))
+    defs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(defs) != 1:
+        raise TranslationError("source must contain exactly one function definition")
+    fndef = defs[0]
+    params = [a.arg for a in fndef.args.args]
+    if not params:
+        raise TranslationError("UDF must take the row handle as first parameter")
+    row = params[0]
+    consts = dict(consts or {})
+    # Default values provide constants for parameters not overridden.
+    defaults = fndef.args.defaults
+    if defaults:
+        defaulted = params[len(params) - len(defaults):]
+        for name, value_node in zip(defaulted, defaults):
+            if name not in consts:
+                if not isinstance(value_node, ast.Constant):
+                    raise TranslationError(f"default for {name!r} must be a literal")
+                consts[name] = value_node.value
+    missing = [p for p in params[1:] if p not in consts]
+    if missing:
+        raise TranslationError(f"no constant bound for parameters {missing}")
+
+    tr = _Translator(pid, row, consts, functions)
+    # Pre-scan assigned names: blocks are translated back-to-front, so a
+    # return may reference a local before its assignment has been visited.
+    for node in ast.walk(fndef):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    tr.locals.add(target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            tr.locals.add(node.target.id)
+    clash = tr.locals & (set(consts) | {row})
+    if clash:
+        raise TranslationError(f"cannot assign to parameters {sorted(clash)}")
+    body, returns = tr.block(fndef.body, SKIP, False)
+    if not returns:
+        raise TranslationError("every path through a UDF must return")
+    return Program(pid, (row,), body)
+
+
+def translate_udf(
+    fn: Callable,
+    pid: str | None = None,
+    consts: Mapping[str, object] | None = None,
+    functions: FunctionTable | None = None,
+) -> Program:
+    """Translate a live Python function (via ``inspect.getsource``)."""
+
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError) as exc:
+        raise TranslationError(f"cannot retrieve source of {fn!r}: {exc}") from exc
+    return translate_source(source, pid or fn.__name__, consts, functions)

@@ -1,0 +1,365 @@
+"""Abstract syntax of the consolidation language (Figure 1 of the paper).
+
+The language is a small imperative core:
+
+* programs ``lambda a1..ak. S`` with a statement body,
+* statements: ``skip``, assignment, sequencing, conditionals
+  (``S1 (+)e S2``), while loops, and ``notify_i e`` broadcasts,
+* integer expressions: constants, arguments, locals, library calls and
+  ``+ - *``,
+* boolean expressions: constants, comparisons (``< <= =``) and the boolean
+  connectives.
+
+Two pragmatic extensions over the paper's Figure 1, both used by the paper's
+own examples:
+
+* **String constants.**  The worked examples compare airline names and words.
+  Strings are opaque: the only operations are equality and library calls, so
+  the SMT layer treats each distinct string as a distinct integer constant
+  (interning), which preserves exactly the reasoning the calculus needs.
+* **Notify of expressions.**  Figure 1 restricts ``notify`` to boolean
+  constants, but the consolidated program of Example 1 broadcasts a computed
+  boolean (``return (c == "southwest", false)``).  We allow ``notify_i e``
+  for an arbitrary boolean expression; a constant is just the special case.
+
+All nodes are immutable (frozen dataclasses) and compare structurally, so
+they can be used as dictionary keys, memoised, and shared freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = [
+    "Expr",
+    "IntExpr",
+    "BoolExpr",
+    "Stmt",
+    "IntConst",
+    "StrConst",
+    "BoolConst",
+    "Arg",
+    "Var",
+    "Call",
+    "BinOp",
+    "Cmp",
+    "Not",
+    "BoolOp",
+    "Skip",
+    "Assign",
+    "Notify",
+    "Seq",
+    "If",
+    "While",
+    "Program",
+    "SKIP",
+    "TRUE",
+    "FALSE",
+    "ARITH_OPS",
+    "CMP_OPS",
+    "BOOL_OPS",
+    "seq",
+    "seq_head",
+    "seq_tail",
+    "statements",
+]
+
+ARITH_OPS = ("+", "-", "*")
+CMP_OPS = ("<", "<=", "=")
+BOOL_OPS = ("and", "or")
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        from .printer import to_str
+
+        return to_str(self)
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Integer expressions (IE in Figure 1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IntConst(Expr):
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class StrConst(Expr):
+    """An opaque string literal (see module docstring)."""
+
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class Arg(Expr):
+    """A program argument ``alpha_j``.
+
+    Arguments are shared between all programs being consolidated: every UDF
+    in a batch receives the same input row, so an ``Arg`` with the same name
+    denotes the same value in every program.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A local variable ``x_{i,j}``.
+
+    Local variables of distinct programs are kept disjoint by prefixing the
+    program identifier to the name (``rename_locals`` in
+    :mod:`repro.lang.visitors` establishes this before consolidation).
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Expr):
+    """A call ``f(e1, ..., ek)`` to an externally provided library function.
+
+    Library functions are deterministic and side-effect free (the paper's
+    well-behavedness assumption), which is what justifies replacing a call
+    with a previously computed value during cross-simplification.
+    """
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """An arithmetic operation ``e1 (.) e2`` with ``(.)`` in ``+ - *``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            raise ValueError(f"not an arithmetic operator: {self.op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Boolean expressions (BE in Figure 1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BoolConst(Expr):
+    """A boolean literal (top / bottom in the paper)."""
+
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Cmp(Expr):
+    """A comparison ``e1 (<=|<|=) e2``.
+
+    Only the paper's three comparison operators exist in the core syntax;
+    ``>``, ``>=`` and ``!=`` are provided as smart constructors in
+    :mod:`repro.lang.builder` that normalise to these.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"not a comparison operator: {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expr):
+    """Boolean negation."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class BoolOp(Expr):
+    """A binary boolean connective (``and`` / ``or``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BOOL_OPS:
+            raise ValueError(f"not a boolean operator: {self.op!r}")
+
+
+IntExpr = Union[IntConst, StrConst, Arg, Var, Call, BinOp]
+BoolExpr = Union[BoolConst, Cmp, Not, BoolOp]
+
+
+# ---------------------------------------------------------------------------
+# Statements (S in Figure 1)
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Skip(Stmt):
+    """The no-op statement."""
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Stmt):
+    """An assignment ``x := e`` to a local variable."""
+
+    var: str
+    expr: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Notify(Stmt):
+    """``notify_i e`` — broadcast the value of ``e`` on behalf of program i.
+
+    The paper's semantics collects broadcasts into a notification
+    environment ``N`` mapping program identifiers to booleans; a program may
+    notify its own identifier at most once per run.
+    """
+
+    pid: str
+    expr: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(Stmt):
+    """A sequence of statements ``S1; ...; Sn``.
+
+    Sequences are kept *flat*: no element of ``stmts`` is itself a ``Seq``,
+    and ``Skip`` never appears inside a non-trivial sequence.  Use the
+    :func:`seq` smart constructor to build sequences; it enforces both
+    invariants, which the consolidation algorithm's ``hd``/``tl`` view
+    (:func:`seq_head` / :func:`seq_tail`) relies on.
+    """
+
+    stmts: tuple[Stmt, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stmts", tuple(self.stmts))
+        for s in self.stmts:
+            if isinstance(s, Seq):
+                raise ValueError("Seq must be flat; use seq() to construct")
+
+
+@dataclass(frozen=True, slots=True)
+class If(Stmt):
+    """A conditional ``S1 (+)e S2``: run ``then`` if ``cond`` holds."""
+
+    cond: Expr
+    then: Stmt
+    orelse: Stmt
+
+
+@dataclass(frozen=True, slots=True)
+class While(Stmt):
+    """A while loop."""
+
+    cond: Expr
+    body: Stmt
+
+
+SKIP = Skip()
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+def seq(*stmts: Stmt) -> Stmt:
+    """Build a flat sequence, dropping ``Skip`` and splicing nested ``Seq``.
+
+    Returns ``SKIP`` for the empty sequence and the sole statement for a
+    singleton, so the result is always in normal form.
+    """
+
+    flat: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Seq):
+            flat.extend(s.stmts)
+        elif isinstance(s, Skip):
+            continue
+        else:
+            flat.append(s)
+    if not flat:
+        return SKIP
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def seq_head(s: Stmt) -> Stmt:
+    """``hd`` from the paper: the first non-sequence statement of ``s``."""
+
+    if isinstance(s, Seq):
+        return s.stmts[0]
+    return s
+
+
+def seq_tail(s: Stmt) -> Stmt:
+    """``tl`` from the paper: everything after :func:`seq_head`.
+
+    Yields ``SKIP`` when ``s`` is not a sequence, mirroring the paper's
+    convention (and implicitly its Skip 2 rule).
+    """
+
+    if isinstance(s, Seq):
+        return seq(*s.stmts[1:])
+    return SKIP
+
+
+def statements(s: Stmt) -> Iterator[Stmt]:
+    """Iterate the top-level statements of ``s`` in execution order."""
+
+    if isinstance(s, Seq):
+        yield from s.stmts
+    elif not isinstance(s, Skip):
+        yield s
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Program(Node):
+    """A program ``Pi_i = lambda a1...ak. S``.
+
+    ``pid`` is the unique program identifier used by ``notify`` statements;
+    ``params`` are the argument names (the same tuple for every program in a
+    consolidation batch, since they all read the same input).
+    """
+
+    pid: str
+    params: tuple[str, ...]
+    body: Stmt
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", tuple(self.params))

@@ -1,0 +1,207 @@
+"""Smart constructors and a small embedded DSL for building IR programs.
+
+The core syntax (Figure 1) has only ``< <= =`` among comparisons; the
+builders below provide the full comparison vocabulary by normalising::
+
+    gt(a, b)  ->  b < a
+    ge(a, b)  ->  b <= a
+    ne(a, b)  ->  !(a == b)
+
+plus lifting of Python literals, so query generators can be written
+concisely: ``lt(call("price", arg("row")), 200)``.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Arg,
+    Assign,
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Call,
+    Cmp,
+    Expr,
+    FALSE,
+    If,
+    IntConst,
+    Not,
+    Notify,
+    Program,
+    SKIP,
+    Skip,
+    Stmt,
+    StrConst,
+    TRUE,
+    Var,
+    While,
+    seq,
+)
+
+__all__ = [
+    "lift",
+    "arg",
+    "var",
+    "call",
+    "add",
+    "sub",
+    "mul",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "eq",
+    "ne",
+    "not_",
+    "and_",
+    "or_",
+    "conj",
+    "disj",
+    "assign",
+    "notify",
+    "if_",
+    "while_",
+    "block",
+    "program",
+    "ite_notify",
+]
+
+ExprLike = object  # Expr | int | bool | str
+
+
+def lift(value: ExprLike) -> Expr:
+    """Lift a Python literal (or pass through an :class:`Expr`)."""
+
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    if isinstance(value, int):
+        return IntConst(value)
+    if isinstance(value, str):
+        return StrConst(value)
+    raise TypeError(f"cannot lift {value!r} into an expression")
+
+
+def arg(name: str) -> Arg:
+    return Arg(name)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    return Call(func, tuple(lift(a) for a in args))
+
+
+def add(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("+", lift(a), lift(b))
+
+
+def sub(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("-", lift(a), lift(b))
+
+
+def mul(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("*", lift(a), lift(b))
+
+
+def lt(a: ExprLike, b: ExprLike) -> Cmp:
+    return Cmp("<", lift(a), lift(b))
+
+
+def le(a: ExprLike, b: ExprLike) -> Cmp:
+    return Cmp("<=", lift(a), lift(b))
+
+
+def gt(a: ExprLike, b: ExprLike) -> Cmp:
+    """``a > b`` normalised to ``b < a``."""
+
+    return Cmp("<", lift(b), lift(a))
+
+
+def ge(a: ExprLike, b: ExprLike) -> Cmp:
+    """``a >= b`` normalised to ``b <= a``."""
+
+    return Cmp("<=", lift(b), lift(a))
+
+
+def eq(a: ExprLike, b: ExprLike) -> Cmp:
+    return Cmp("=", lift(a), lift(b))
+
+
+def ne(a: ExprLike, b: ExprLike) -> Not:
+    """``a != b`` normalised to ``!(a == b)``."""
+
+    return Not(eq(a, b))
+
+
+def not_(a: ExprLike) -> Expr:
+    return Not(lift(a))
+
+
+def and_(a: ExprLike, b: ExprLike) -> BoolOp:
+    return BoolOp("and", lift(a), lift(b))
+
+
+def or_(a: ExprLike, b: ExprLike) -> BoolOp:
+    return BoolOp("or", lift(a), lift(b))
+
+
+def conj(*parts: ExprLike) -> Expr:
+    """Left-associated conjunction of any number of operands (``true`` if none)."""
+
+    exprs = [lift(p) for p in parts]
+    if not exprs:
+        return TRUE
+    result = exprs[0]
+    for e in exprs[1:]:
+        result = BoolOp("and", result, e)
+    return result
+
+
+def disj(*parts: ExprLike) -> Expr:
+    """Left-associated disjunction of any number of operands (``false`` if none)."""
+
+    exprs = [lift(p) for p in parts]
+    if not exprs:
+        return FALSE
+    result = exprs[0]
+    for e in exprs[1:]:
+        result = BoolOp("or", result, e)
+    return result
+
+
+def assign(name: str, value: ExprLike) -> Assign:
+    return Assign(name, lift(value))
+
+
+def notify(pid: str, value: ExprLike) -> Notify:
+    return Notify(pid, lift(value))
+
+
+def if_(cond: ExprLike, then: Stmt, orelse: Stmt = SKIP) -> If:
+    return If(lift(cond), then, orelse)
+
+
+def while_(cond: ExprLike, body: Stmt) -> While:
+    return While(lift(cond), body)
+
+
+def block(*stmts: Stmt) -> Stmt:
+    return seq(*stmts)
+
+
+def program(pid: str, params: tuple[str, ...] | list[str], *body: Stmt) -> Program:
+    return Program(pid, tuple(params), seq(*body))
+
+
+def ite_notify(pid: str, cond: ExprLike) -> If:
+    """The canonical UDF epilogue: ``if cond then notify true else notify false``.
+
+    Compiling a filter's final ``return e`` this way (rather than
+    ``notify e``) exposes the test predicate to cross-embedding (If 3).
+    """
+
+    return If(lift(cond), Notify(pid, TRUE), Notify(pid, FALSE))

@@ -1,0 +1,48 @@
+"""The abstract cost model of the paper's operational semantics (Figure 2).
+
+The semantics is parameterised by an abstract ``cost`` function assigning a
+price to each kind of operation.  :class:`CostModel` realises that function
+as a plain dataclass; the defaults make memory traffic and branching cheap
+relative to library calls, which matches the paper's scenario where UDFs
+spend their time in calls such as ``getTempOfMonth`` or ``toLower``.
+
+Library-call costs come from the :class:`~repro.lang.functions.FunctionTable`
+rather than from the model, since they vary per function (the ``m`` of
+``eval(f(...)) = (c, m)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Costs for each operation kind in Figure 2's semantics."""
+
+    int_const: int = 0
+    str_const: int = 0
+    bool_const: int = 0
+    var: int = 1
+    arg: int = 1
+    arith: int = 1
+    cmp: int = 1
+    neg: int = 1
+    logic: int = 1
+    assign: int = 1
+    notify: int = 1
+    branch: int = 2
+
+    def arith_cost(self, op: str) -> int:
+        return self.arith
+
+    def cmp_cost(self, op: str) -> int:
+        return self.cmp
+
+    def logic_cost(self, op: str) -> int:
+        return self.logic
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,94 @@
+"""Library function tables.
+
+Programs in the consolidation language call externally provided, pure,
+deterministic functions (``eval`` in Figure 2).  A :class:`FunctionTable`
+supplies, for each function name:
+
+* a Python implementation used by the interpreter,
+* a fixed invocation cost used by the cost semantics, and
+* a result sort (``int`` / ``bool`` / ``str``) used by type checking and the
+  SMT bridge.
+
+The invocation cost is the ``m`` of ``eval(f(c1..ck)) = (c, m)``; argument
+evaluation costs are added by the interpreter separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+__all__ = ["Sort", "INT", "BOOL", "STR", "LibraryFunction", "FunctionTable"]
+
+
+Sort = str
+INT: Sort = "int"
+BOOL: Sort = "bool"
+STR: Sort = "str"
+_SORTS = (INT, BOOL, STR)
+
+
+@dataclass(frozen=True)
+class LibraryFunction:
+    """A pure library function visible to UDFs.
+
+    ``fn`` must be deterministic and side-effect free — this is the paper's
+    well-behavedness requirement, and it is what makes memoising a call
+    result across programs sound.
+    """
+
+    name: str
+    fn: Callable[..., object]
+    cost: int = 10
+    result_sort: Sort = INT
+    arg_sorts: tuple[Sort, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.result_sort not in _SORTS:
+            raise ValueError(f"unknown sort {self.result_sort!r}")
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+
+
+class FunctionTable:
+    """An immutable-by-convention registry of library functions."""
+
+    def __init__(self, functions: Iterable[LibraryFunction] = ()) -> None:
+        self._functions: dict[str, LibraryFunction] = {}
+        for f in functions:
+            self.register(f)
+
+    def register(self, f: LibraryFunction) -> None:
+        if f.name in self._functions:
+            raise ValueError(f"duplicate library function {f.name!r}")
+        self._functions[f.name] = f
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __getitem__(self, name: str) -> LibraryFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"unknown library function {name!r}") from None
+
+    def __iter__(self):
+        return iter(self._functions.values())
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def merged(self, other: "FunctionTable") -> "FunctionTable":
+        """The union of two tables; shared names must agree exactly."""
+
+        merged = FunctionTable(self)
+        for f in other:
+            if f.name in merged._functions:
+                if merged._functions[f.name] is not f and merged._functions[f.name] != f:
+                    raise ValueError(f"conflicting definitions for {f.name!r}")
+            else:
+                merged.register(f)
+        return merged

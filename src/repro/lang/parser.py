@@ -1,0 +1,314 @@
+"""Recursive-descent parser for the concrete syntax of the IR.
+
+The grammar matches what :mod:`repro.lang.printer` emits::
+
+    program  ::= "program" ident "(" [ident ("," ident)*] ")" "{" stmt* "}"
+    stmt     ::= "skip" ";"
+               | ident ":=" expr ";"
+               | "notify" ident expr ";"
+               | "if" "(" expr ")" "{" stmt* "}" ["else" "{" stmt* "}"]
+               | "while" "(" expr ")" "{" stmt* "}"
+    expr     ::= disjunction of conjunctions of (negated) comparisons
+                 over arithmetic over atoms
+
+Arguments are written ``@name``; ``>``, ``>=`` and ``!=`` are surface sugar
+normalised exactly like the builders in :mod:`repro.lang.builder`.
+Identifiers may contain dots (prefixed locals such as ``q1.x``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .ast import (
+    Arg,
+    Assign,
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Call,
+    Cmp,
+    Expr,
+    FALSE,
+    If,
+    IntConst,
+    Not,
+    Notify,
+    Program,
+    SKIP,
+    Stmt,
+    StrConst,
+    TRUE,
+    Var,
+    While,
+    seq,
+)
+
+__all__ = ["ParseError", "parse_expr", "parse_stmt", "parse_program"]
+
+
+class ParseError(Exception):
+    """A syntax error, with position information in the message."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<int>\d+)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
+  | (?P<op>:=|<=|>=|==|!=|&&|\|\||[-+*<>!=(),;{}@])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"program", "skip", "notify", "if", "else", "while", "true", "false", "and", "or"}
+
+
+@dataclass
+class _Token:
+    kind: str  # 'int' | 'string' | 'ident' | 'op' | 'eof'
+    text: str
+    pos: int
+
+
+def _tokenize(src: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {src[pos]!r} at offset {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        tokens.append(_Token(m.lastgroup or "op", m.group(), m.start()))
+    tokens.append(_Token("eof", "", len(src)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, src: str) -> None:
+        self.tokens = _tokenize(src)
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.index]
+        self.index += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.text == text and tok.kind in ("op", "ident")
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r} but found {tok.text!r} at offset {tok.pos}")
+        return tok
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if tok.kind != "ident" or tok.text in _KEYWORDS:
+            raise ParseError(f"expected identifier but found {tok.text!r} at offset {tok.pos}")
+        return tok.text
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self.at("or") or self.at("||"):
+            self.next()
+            left = BoolOp("or", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._not()
+        while self.at("and") or self.at("&&"):
+            self.next()
+            left = BoolOp("and", left, self._not())
+        return left
+
+    def _not(self) -> Expr:
+        if self.at("!"):
+            self.next()
+            return Not(self._not())
+        return self._cmp()
+
+    def _cmp(self) -> Expr:
+        left = self._arith()
+        tok = self.peek()
+        if tok.text in ("<", "<=", "==", ">", ">=", "!="):
+            self.next()
+            right = self._arith()
+            if tok.text == "<":
+                return Cmp("<", left, right)
+            if tok.text == "<=":
+                return Cmp("<=", left, right)
+            if tok.text == "==":
+                return Cmp("=", left, right)
+            if tok.text == ">":
+                return Cmp("<", right, left)
+            if tok.text == ">=":
+                return Cmp("<=", right, left)
+            return Not(Cmp("=", left, right))
+        return left
+
+    def _arith(self) -> Expr:
+        left = self._term()
+        while self.peek().text in ("+", "-") and self.peek().kind == "op":
+            op = self.next().text
+            left = BinOp(op, left, self._term())
+        return left
+
+    def _term(self) -> Expr:
+        left = self._atom()
+        while self.at("*"):
+            self.next()
+            left = BinOp("*", left, self._atom())
+        return left
+
+    def _atom(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return IntConst(int(tok.text))
+        if tok.kind == "string":
+            self.next()
+            raw = tok.text[1:-1]
+            return StrConst(raw.replace('\\"', '"').replace("\\\\", "\\"))
+        if tok.text == "true":
+            self.next()
+            return TRUE
+        if tok.text == "false":
+            self.next()
+            return FALSE
+        if tok.text == "@":
+            self.next()
+            return Arg(self.expect_ident())
+        if tok.text == "(":
+            self.next()
+            inner = self.expr()
+            self.expect(")")
+            return inner
+        if tok.kind == "ident" and tok.text not in _KEYWORDS:
+            name = self.expect_ident()
+            if self.at("("):
+                self.next()
+                args: list[Expr] = []
+                if not self.at(")"):
+                    args.append(self.expr())
+                    while self.at(","):
+                        self.next()
+                        args.append(self.expr())
+                self.expect(")")
+                return Call(name, tuple(args))
+            return Var(name)
+        raise ParseError(f"unexpected token {tok.text!r} at offset {tok.pos}")
+
+    # -- statements ----------------------------------------------------------
+
+    def stmts_until(self, closer: str) -> Stmt:
+        out: list[Stmt] = []
+        while not self.at(closer) and self.peek().kind != "eof":
+            out.append(self.stmt())
+        return seq(*out)
+
+    def stmt(self) -> Stmt:
+        tok = self.peek()
+        if tok.text == "skip":
+            self.next()
+            self.expect(";")
+            return SKIP
+        if tok.text == "notify":
+            self.next()
+            pid = self.expect_ident()
+            value = self.expr()
+            self.expect(";")
+            return Notify(pid, value)
+        if tok.text == "if":
+            self.next()
+            self.expect("(")
+            cond = self.expr()
+            self.expect(")")
+            self.expect("{")
+            then = self.stmts_until("}")
+            self.expect("}")
+            orelse: Stmt = SKIP
+            if self.at("else"):
+                self.next()
+                self.expect("{")
+                orelse = self.stmts_until("}")
+                self.expect("}")
+            return If(cond, then, orelse)
+        if tok.text == "while":
+            self.next()
+            self.expect("(")
+            cond = self.expr()
+            self.expect(")")
+            self.expect("{")
+            body = self.stmts_until("}")
+            self.expect("}")
+            return While(cond, body)
+        name = self.expect_ident()
+        self.expect(":=")
+        value = self.expr()
+        self.expect(";")
+        return Assign(name, value)
+
+    def program(self) -> Program:
+        self.expect("program")
+        pid = self.expect_ident()
+        self.expect("(")
+        params: list[str] = []
+        if not self.at(")"):
+            params.append(self.expect_ident())
+            while self.at(","):
+                self.next()
+                params.append(self.expect_ident())
+        self.expect(")")
+        self.expect("{")
+        body = self.stmts_until("}")
+        self.expect("}")
+        return Program(pid, tuple(params), body)
+
+    def eof(self) -> None:
+        tok = self.peek()
+        if tok.kind != "eof":
+            raise ParseError(f"trailing input starting at {tok.text!r} (offset {tok.pos})")
+
+
+def parse_expr(src: str) -> Expr:
+    """Parse a single expression."""
+
+    p = _Parser(src)
+    e = p.expr()
+    p.eof()
+    return e
+
+
+def parse_stmt(src: str) -> Stmt:
+    """Parse a statement sequence (returned in ``seq`` normal form)."""
+
+    p = _Parser(src)
+    s = p.stmts_until("\0")
+    p.eof()
+    return s
+
+
+def parse_program(src: str) -> Program:
+    """Parse a full ``program pid(args) { ... }`` definition."""
+
+    p = _Parser(src)
+    prog = p.program()
+    p.eof()
+    return prog

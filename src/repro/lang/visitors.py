@@ -1,0 +1,388 @@
+"""Traversal and transformation utilities over the IR.
+
+These are the workhorses shared by the analyses and the consolidation
+algorithm: variable/call collection, capture-free substitution (the language
+has no binders below the lambda, so substitution is structural), local
+renaming to enforce the disjoint-locals precondition of consolidation, and
+expression typing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .ast import (
+    Arg,
+    Assign,
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Call,
+    Cmp,
+    Expr,
+    If,
+    IntConst,
+    Not,
+    Notify,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    StrConst,
+    Var,
+    While,
+    seq,
+)
+from .functions import BOOL, INT, STR, FunctionTable, Sort
+
+__all__ = [
+    "subexpressions",
+    "expr_vars",
+    "expr_args",
+    "expr_calls",
+    "stmt_exprs",
+    "stmt_vars",
+    "stmt_args",
+    "stmt_calls",
+    "assigned_vars",
+    "notified_pids",
+    "substitute",
+    "map_exprs",
+    "rename_vars",
+    "rename_locals",
+    "expr_size",
+    "stmt_size",
+    "TypeError_",
+    "type_of",
+    "check_program",
+]
+
+
+# ---------------------------------------------------------------------------
+# Collection
+# ---------------------------------------------------------------------------
+
+
+def subexpressions(e: Expr) -> Iterator[Expr]:
+    """All subexpressions of ``e``, including ``e`` itself (pre-order)."""
+
+    yield e
+    if isinstance(e, Call):
+        for a in e.args:
+            yield from subexpressions(a)
+    elif isinstance(e, (BinOp, Cmp, BoolOp)):
+        yield from subexpressions(e.left)
+        yield from subexpressions(e.right)
+    elif isinstance(e, Not):
+        yield from subexpressions(e.operand)
+
+
+def expr_vars(e: Expr) -> set[str]:
+    """Local-variable names read by ``e``."""
+
+    return {sub.name for sub in subexpressions(e) if isinstance(sub, Var)}
+
+
+def expr_args(e: Expr) -> set[str]:
+    """Argument names read by ``e``."""
+
+    return {sub.name for sub in subexpressions(e) if isinstance(sub, Arg)}
+
+
+def expr_calls(e: Expr) -> set[str]:
+    """Names of library functions called by ``e``."""
+
+    return {sub.func for sub in subexpressions(e) if isinstance(sub, Call)}
+
+
+def stmt_exprs(s: Stmt) -> Iterator[Expr]:
+    """All expressions occurring in ``s`` in syntactic order."""
+
+    if isinstance(s, (Skip,)):
+        return
+    if isinstance(s, Assign):
+        yield s.expr
+    elif isinstance(s, Notify):
+        yield s.expr
+    elif isinstance(s, Seq):
+        for sub in s.stmts:
+            yield from stmt_exprs(sub)
+    elif isinstance(s, If):
+        yield s.cond
+        yield from stmt_exprs(s.then)
+        yield from stmt_exprs(s.orelse)
+    elif isinstance(s, While):
+        yield s.cond
+        yield from stmt_exprs(s.body)
+
+
+def stmt_vars(s: Stmt) -> set[str]:
+    """Local-variable names read or written anywhere in ``s``."""
+
+    names: set[str] = set(assigned_vars(s))
+    for e in stmt_exprs(s):
+        names |= expr_vars(e)
+    return names
+
+
+def stmt_args(s: Stmt) -> set[str]:
+    names: set[str] = set()
+    for e in stmt_exprs(s):
+        names |= expr_args(e)
+    return names
+
+
+def stmt_calls(s: Stmt) -> set[str]:
+    names: set[str] = set()
+    for e in stmt_exprs(s):
+        names |= expr_calls(e)
+    return names
+
+
+def assigned_vars(s: Stmt) -> set[str]:
+    """Local-variable names assigned anywhere in ``s``."""
+
+    if isinstance(s, Assign):
+        return {s.var}
+    if isinstance(s, Seq):
+        out: set[str] = set()
+        for sub in s.stmts:
+            out |= assigned_vars(sub)
+        return out
+    if isinstance(s, If):
+        return assigned_vars(s.then) | assigned_vars(s.orelse)
+    if isinstance(s, While):
+        return assigned_vars(s.body)
+    return set()
+
+
+def notified_pids(s: Stmt) -> set[str]:
+    """Program identifiers that ``s`` may notify."""
+
+    if isinstance(s, Notify):
+        return {s.pid}
+    if isinstance(s, Seq):
+        out: set[str] = set()
+        for sub in s.stmts:
+            out |= notified_pids(sub)
+        return out
+    if isinstance(s, If):
+        return notified_pids(s.then) | notified_pids(s.orelse)
+    if isinstance(s, While):
+        return notified_pids(s.body)
+    return set()
+
+
+# ---------------------------------------------------------------------------
+# Transformation
+# ---------------------------------------------------------------------------
+
+
+def substitute(e: Expr, mapping: dict[Expr, Expr]) -> Expr:
+    """Replace occurrences of the *keys* of ``mapping`` (whole subtrees).
+
+    Substitution is outside-in: once a subtree matches a key it is replaced
+    wholesale and not re-visited, so mappings may safely mention each other.
+    """
+
+    if e in mapping:
+        return mapping[e]
+    if isinstance(e, Call):
+        return Call(e.func, tuple(substitute(a, mapping) for a in e.args))
+    if isinstance(e, BinOp):
+        return BinOp(e.op, substitute(e.left, mapping), substitute(e.right, mapping))
+    if isinstance(e, Cmp):
+        return Cmp(e.op, substitute(e.left, mapping), substitute(e.right, mapping))
+    if isinstance(e, Not):
+        return Not(substitute(e.operand, mapping))
+    if isinstance(e, BoolOp):
+        return BoolOp(e.op, substitute(e.left, mapping), substitute(e.right, mapping))
+    return e
+
+
+def map_exprs(s: Stmt, f: Callable[[Expr], Expr]) -> Stmt:
+    """Rebuild ``s`` with every embedded expression passed through ``f``."""
+
+    if isinstance(s, Skip):
+        return s
+    if isinstance(s, Assign):
+        return Assign(s.var, f(s.expr))
+    if isinstance(s, Notify):
+        return Notify(s.pid, f(s.expr))
+    if isinstance(s, Seq):
+        return seq(*(map_exprs(sub, f) for sub in s.stmts))
+    if isinstance(s, If):
+        return If(f(s.cond), map_exprs(s.then, f), map_exprs(s.orelse, f))
+    if isinstance(s, While):
+        return While(f(s.cond), map_exprs(s.body, f))
+    raise TypeError(f"not a statement: {s!r}")
+
+
+def rename_vars(s: Stmt, renaming: dict[str, str]) -> Stmt:
+    """Rename local variables in reads and writes according to ``renaming``."""
+
+    def on_expr(e: Expr) -> Expr:
+        mapping: dict[Expr, Expr] = {
+            Var(old): Var(new) for old, new in renaming.items()
+        }
+        return substitute(e, mapping)
+
+    def walk(st: Stmt) -> Stmt:
+        if isinstance(st, Assign):
+            return Assign(renaming.get(st.var, st.var), on_expr(st.expr))
+        if isinstance(st, Notify):
+            return Notify(st.pid, on_expr(st.expr))
+        if isinstance(st, Seq):
+            return seq(*(walk(sub) for sub in st.stmts))
+        if isinstance(st, If):
+            return If(on_expr(st.cond), walk(st.then), walk(st.orelse))
+        if isinstance(st, While):
+            return While(on_expr(st.cond), walk(st.body))
+        return st
+
+    return walk(s)
+
+
+def rename_locals(p: Program, prefix: str | None = None) -> Program:
+    """Prefix every local of ``p`` with its pid, e.g. ``x`` -> ``q1.x``.
+
+    Consolidation requires the two programs' locals to be disjoint
+    (Figure 1 labels locals with the program index); applying this to each
+    input establishes the precondition mechanically.
+    """
+
+    tag = prefix if prefix is not None else p.pid
+    names = stmt_vars(p.body)
+    renaming = {n: f"{tag}.{n}" for n in names if not n.startswith(f"{tag}.")}
+    return Program(p.pid, p.params, rename_vars(p.body, renaming))
+
+
+def expr_size(e: Expr) -> int:
+    """Number of AST nodes in ``e``."""
+
+    return sum(1 for _ in subexpressions(e))
+
+
+def stmt_size(s: Stmt) -> int:
+    """Number of AST nodes in ``s`` (statements and expressions)."""
+
+    if isinstance(s, Skip):
+        return 1
+    if isinstance(s, Assign):
+        return 1 + expr_size(s.expr)
+    if isinstance(s, Notify):
+        return 1 + expr_size(s.expr)
+    if isinstance(s, Seq):
+        return 1 + sum(stmt_size(sub) for sub in s.stmts)
+    if isinstance(s, If):
+        return 1 + expr_size(s.cond) + stmt_size(s.then) + stmt_size(s.orelse)
+    if isinstance(s, While):
+        return 1 + expr_size(s.cond) + stmt_size(s.body)
+    raise TypeError(f"not a statement: {s!r}")
+
+
+# ---------------------------------------------------------------------------
+# Typing
+# ---------------------------------------------------------------------------
+
+
+class TypeError_(Exception):
+    """A static type error in an IR term."""
+
+
+def type_of(
+    e: Expr,
+    functions: FunctionTable | None = None,
+    env_sorts: dict[str, Sort] | None = None,
+) -> Sort:
+    """Infer the sort of ``e`` (``int``, ``bool`` or ``str``).
+
+    ``env_sorts`` gives sorts for arguments and locals; names missing from
+    it default to ``int`` (the dominant case in query UDFs).  When
+    ``functions`` is provided, call results use the declared result sort and
+    argument sorts are checked.
+    """
+
+    sorts = env_sorts or {}
+    if isinstance(e, IntConst):
+        return INT
+    if isinstance(e, StrConst):
+        return STR
+    if isinstance(e, BoolConst):
+        return BOOL
+    if isinstance(e, (Arg, Var)):
+        return sorts.get(e.name, INT)
+    if isinstance(e, Call):
+        if functions is None or e.func not in functions:
+            return INT
+        lib = functions[e.func]
+        if lib.arg_sorts is not None:
+            if len(lib.arg_sorts) != len(e.args):
+                raise TypeError_(
+                    f"{e.func} expects {len(lib.arg_sorts)} args, got {len(e.args)}"
+                )
+            for want, actual in zip(lib.arg_sorts, e.args):
+                got = type_of(actual, functions, sorts)
+                if got != want:
+                    raise TypeError_(f"{e.func}: expected {want}, got {got} in {actual}")
+        return lib.result_sort
+    if isinstance(e, BinOp):
+        for side in (e.left, e.right):
+            if type_of(side, functions, sorts) != INT:
+                raise TypeError_(f"arithmetic on non-int operand in {e}")
+        return INT
+    if isinstance(e, Cmp):
+        lt_ = type_of(e.left, functions, sorts)
+        rt = type_of(e.right, functions, sorts)
+        if e.op == "=":
+            if BOOL in (lt_, rt):
+                raise TypeError_(f"equality on booleans in {e}")
+        else:
+            if lt_ != INT or rt != INT:
+                raise TypeError_(f"ordering on non-int operands in {e}")
+        return BOOL
+    if isinstance(e, Not):
+        if type_of(e.operand, functions, sorts) != BOOL:
+            raise TypeError_(f"negation of non-bool in {e}")
+        return BOOL
+    if isinstance(e, BoolOp):
+        for side in (e.left, e.right):
+            if type_of(side, functions, sorts) != BOOL:
+                raise TypeError_(f"connective on non-bool operand in {e}")
+        return BOOL
+    raise TypeError_(f"not an expression: {e!r}")
+
+
+def check_program(
+    p: Program,
+    functions: FunctionTable | None = None,
+    env_sorts: dict[str, Sort] | None = None,
+) -> None:
+    """Type-check every expression in ``p``; raises :class:`TypeError_`.
+
+    Branch and loop conditions and notify payloads must be boolean.
+    Assigned variables adopt the sort of their first assignment.
+    """
+
+    sorts = dict(env_sorts or {})
+
+    def walk(s: Stmt) -> None:
+        if isinstance(s, Assign):
+            sorts[s.var] = type_of(s.expr, functions, sorts)
+        elif isinstance(s, Notify):
+            if type_of(s.expr, functions, sorts) != BOOL:
+                raise TypeError_(f"notify of non-bool in {s}")
+        elif isinstance(s, Seq):
+            for sub in s.stmts:
+                walk(sub)
+        elif isinstance(s, If):
+            if type_of(s.cond, functions, sorts) != BOOL:
+                raise TypeError_(f"branch on non-bool in {s}")
+            walk(s.then)
+            walk(s.orelse)
+        elif isinstance(s, While):
+            if type_of(s.cond, functions, sorts) != BOOL:
+                raise TypeError_(f"loop on non-bool in {s}")
+            walk(s.body)
+
+    walk(p.body)

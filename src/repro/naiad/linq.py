@@ -1,0 +1,136 @@
+"""LINQ-style query façade over the mini dataflow engine.
+
+Mirrors how the paper's users write queries: build a query over a data
+collection, attach ``where`` clauses holding UDFs, run.  Two batch entry
+points implement the operators of Section 6.1:
+
+* :func:`run_where_many` — the ``whereMany`` baseline (one pass over the
+  data, every UDF executed sequentially per record);
+* :func:`run_where_consolidated` — consolidates the batch with the
+  divide-and-conquer driver, then runs the single merged UDF
+  (``whereConsolidated``); returns both the run and the consolidation
+  report so harnesses can separate consolidation time from execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..consolidation.algorithm import ConsolidationOptions
+from ..consolidation.divide_conquer import ConsolidationReport, consolidate_all
+from ..lang.ast import Program
+from ..lang.cost import DEFAULT_COST_MODEL, CostModel
+from ..lang.functions import FunctionTable
+from .dataflow import Dataflow, RunResult, Vertex
+from .operators import Collect, Count, CountByKey, FlatMap, Select, Where, WhereConsolidated, WhereMany
+
+__all__ = ["Query", "from_collection", "run_where_many", "run_where_consolidated"]
+
+
+class Query:
+    """A fluent builder: each call appends one operator to the graph."""
+
+    def __init__(self, records: Sequence[Any], dataflow: Dataflow, tail: Vertex | None) -> None:
+        self._records = records
+        self._dataflow = dataflow
+        self._tail = tail
+
+    def _extend(self, vertex: Vertex) -> "Query":
+        self._dataflow.add_vertex(vertex, upstream=self._tail)
+        return Query(self._records, self._dataflow, vertex)
+
+    def where(
+        self,
+        program: Program,
+        functions: FunctionTable,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> "Query":
+        return self._extend(Where(program, functions, cost_model))
+
+    def where_many(
+        self,
+        programs: Sequence[Program],
+        functions: FunctionTable,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> "Query":
+        return self._extend(WhereMany(programs, functions, cost_model))
+
+    def where_consolidated(
+        self,
+        merged: Program,
+        pids: Sequence[str],
+        functions: FunctionTable,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> "Query":
+        return self._extend(WhereConsolidated(merged, pids, functions, cost_model))
+
+    def select(self, fn: Callable[[Any], Any], cost: int = 3) -> "Query":
+        return self._extend(Select(fn, cost))
+
+    def flat_map(self, fn, base_cost: int = 5, unit_cost: int = 1) -> "Query":
+        return self._extend(FlatMap(fn, base_cost, unit_cost))
+
+    def count_by_key(self, bucket: str = "counts") -> "Query":
+        return self._extend(CountByKey(bucket))
+
+    def count(self, bucket: str = "count") -> "Query":
+        return self._extend(Count(bucket))
+
+    def collect(self, bucket: str = "out") -> "Query":
+        return self._extend(Collect(bucket))
+
+    def run(self, workers: int = 4) -> RunResult:
+        return self._dataflow.run(self._records, workers)
+
+
+def from_collection(
+    records: Sequence[Any],
+    io_cost_per_record: int = 25,
+    overhead_per_operator: int = 2,
+) -> Query:
+    """Start a query over an in-memory collection (one graph root)."""
+
+    dataflow = Dataflow(io_cost_per_record, overhead_per_operator)
+
+    class _Source(Vertex):
+        def process(self, record: Any, worker) -> Any:  # noqa: ANN001
+            yield record
+
+    source = _Source("input")
+    dataflow.add_vertex(source)
+    return Query(records, dataflow, source)
+
+
+def run_where_many(
+    records: Sequence[Any],
+    programs: Sequence[Program],
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    workers: int = 4,
+    io_cost_per_record: int = 25,
+) -> RunResult:
+    """Execute the ``whereMany`` baseline over the collection."""
+
+    query = from_collection(records, io_cost_per_record).where_many(
+        programs, functions, cost_model
+    )
+    return query.run(workers)
+
+
+def run_where_consolidated(
+    records: Sequence[Any],
+    programs: Sequence[Program],
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    workers: int = 4,
+    io_cost_per_record: int = 25,
+    options: ConsolidationOptions | None = None,
+) -> tuple[RunResult, ConsolidationReport]:
+    """Consolidate the batch, execute ``whereConsolidated``, report both."""
+
+    report = consolidate_all(list(programs), functions, cost_model, options)
+    pids = [p.pid for p in programs]
+    query = from_collection(records, io_cost_per_record).where_consolidated(
+        report.program, pids, functions, cost_model
+    )
+    return query.run(workers), report

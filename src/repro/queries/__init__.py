@@ -1,0 +1,24 @@
+"""The paper's query families, one module per evaluation domain."""
+
+from . import (
+    flight_queries,
+    news_queries,
+    stock_queries,
+    twitter_queries,
+    weather_queries,
+)
+from .families import (
+    batch_from_expr_family,
+    batch_from_program_family,
+    boolean_combination,
+    expr_to_program,
+    mixed_batch,
+)
+
+DOMAIN_QUERIES = {
+    "weather": weather_queries,
+    "flight": flight_queries,
+    "news": news_queries,
+    "twitter": twitter_queries,
+    "stock": stock_queries,
+}

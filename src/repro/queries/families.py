@@ -1,0 +1,139 @@
+"""Query-family machinery (Section 6.2).
+
+A *query family* is a template with a realistic parameter distribution —
+"many queries issued by a popular application, configured with different
+parameters".  Each draw produces one UDF as an IR :class:`Program` whose
+single parameter is the row handle.
+
+Two family shapes exist:
+
+* **expression families** produce a boolean filter expression; the UDF is
+  the canonical ``if e then notify true else notify false`` epilogue
+  (which exposes the predicate to If 3 cross-embedding);
+* **program families** produce a whole statement body (the weather yearly
+  aggregations are loops, for example).
+
+``boolean_combination`` builds the paper's "BC" batches: UDFs whose filter
+is a conjunction/disjunction of draws from the domain's base families.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..lang.ast import Assign, Call, Expr, Program, Stmt
+from ..lang.builder import and_, ite_notify, not_, or_, program, var
+from ..lang.visitors import subexpressions, substitute
+
+__all__ = [
+    "ExprMaker",
+    "ProgramMaker",
+    "hoist_calls",
+    "expr_to_program",
+    "batch_from_expr_family",
+    "batch_from_program_family",
+    "boolean_combination",
+    "mixed_batch",
+]
+
+ExprMaker = Callable[[random.Random], Expr]
+ProgramMaker = Callable[[str, random.Random], Program]
+
+ROW = "row"
+
+
+def hoist_calls(predicate: Expr) -> tuple[list[Stmt], Expr]:
+    """Materialise each distinct library call into a local variable.
+
+    ``contains(row, 5) == 1 and avg(row) > 40`` becomes::
+
+        t0 := contains(row, 5); t1 := avg(row);  ...  t0 == 1 and t1 > 40
+
+    This is how the paper's UDFs are written (``Airline c = fi.airline``)
+    and it is what lets a later query reuse the value: a consumed
+    assignment enters the consolidation context, so an identical call in
+    another UDF cross-simplifies to the (cheap) variable.
+    """
+
+    stmts: list[Stmt] = []
+    mapping: dict[Expr, Expr] = {}
+    counter = 0
+    # Innermost-first so nested calls hoist their arguments' hoists.
+    calls: list[Call] = [e for e in subexpressions(predicate) if isinstance(e, Call)]
+    for c in reversed(calls):
+        if c in mapping:
+            continue
+        rewritten = substitute(c, {k: v for k, v in mapping.items() if k != c})
+        name = f"t{counter}"
+        counter += 1
+        stmts.append(Assign(name, rewritten))
+        mapping[c] = var(name)
+    return stmts, substitute(predicate, mapping)
+
+
+def expr_to_program(pid: str, predicate: Expr) -> Program:
+    """Wrap a filter predicate in the canonical UDF shape (hoisted calls)."""
+
+    stmts, rewritten = hoist_calls(predicate)
+    return program(pid, (ROW,), *stmts, ite_notify(pid, rewritten))
+
+
+def batch_from_expr_family(
+    make: ExprMaker, n: int, seed: int, prefix: str = "q"
+) -> list[Program]:
+    """Draw ``n`` UDFs from an expression family (deterministic in seed)."""
+
+    rng = random.Random(seed)
+    return [expr_to_program(f"{prefix}{i}", make(rng)) for i in range(n)]
+
+
+def batch_from_program_family(
+    make: ProgramMaker, n: int, seed: int, prefix: str = "q"
+) -> list[Program]:
+    rng = random.Random(seed)
+    return [make(f"{prefix}{i}", rng) for i in range(n)]
+
+
+def boolean_combination(
+    bases: Sequence[ExprMaker], rng: random.Random, max_terms: int = 3
+) -> Expr:
+    """A random and/or/not combination of 2..max_terms base-family draws."""
+
+    k = rng.randint(2, max_terms)
+    terms = [bases[rng.randrange(len(bases))](rng) for _ in range(k)]
+    result = terms[0]
+    for t in terms[1:]:
+        if rng.random() < 0.25:
+            t = not_(t)
+        result = and_(result, t) if rng.random() < 0.6 else or_(result, t)
+    return result
+
+
+def mixed_batch(
+    weighted_makers: Sequence[tuple[int, ProgramMaker]],
+    n: int,
+    seed: int,
+    prefix: str = "q",
+) -> list[Program]:
+    """Sample ``n`` UDFs from several families with the given weights.
+
+    This is the paper's "Mix": e.g. Weather Q5 samples queries from
+    Q1..Q4 with distribution {15, 15, 10, 10}.
+    """
+
+    rng = random.Random(seed)
+    total = sum(w for w, _ in weighted_makers)
+    out: list[Program] = []
+    for i in range(n):
+        pick = rng.randrange(total)
+        acc = 0
+        maker = weighted_makers[-1][1]
+        for w, m in weighted_makers:
+            acc += w
+            if pick < acc:
+                maker = m
+                break
+        out.append(maker(f"{prefix}{i}", rng))
+    return out

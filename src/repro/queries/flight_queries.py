@@ -1,0 +1,82 @@
+"""Flight query families (Section 6.2, Flight Q1-Q4).
+
+Q1 filters airlines offering a *direct* flight between two cities under a
+price bound; Q2 allows *connections* (a more expensive routing
+computation); Q3 filters on the *average* price of the pair.  "Mix"
+samples with the paper's {15, 20, 15} distribution.
+
+City pairs cluster on popular routes — the price-monitoring app of the
+paper's introduction — so many queries in a batch share the same
+``(src, dst)`` accessor calls with different price bounds, which is where
+cross-simplification (and the implication structure between bounds) pays.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datasets.records import Dataset
+from ..lang.ast import Expr, Program
+from ..lang.builder import and_, arg, call, eq, lt, notify, program, if_
+from .families import ROW, batch_from_expr_family, expr_to_program, mixed_batch
+
+__all__ = ["FAMILY_NAMES", "make_batch", "MIX_WEIGHTS"]
+
+FAMILY_NAMES = ["Q1", "Q2", "Q3", "Mix"]
+MIX_WEIGHTS = (15, 20, 15)
+
+# Popular routes dominate (hub-to-hub traffic).
+_POPULAR_PAIRS = [(0, 1), (0, 1), (0, 2), (1, 2), (1, 0), (3, 4), (0, 5)]
+_PRICE_GRID = [120, 150, 180, 200, 250, 300, 350]
+
+
+def _route(rng: random.Random) -> tuple[int, int]:
+    if rng.random() < 0.8:
+        return rng.choice(_POPULAR_PAIRS)
+    src = rng.randrange(10)
+    dst = (src + 1 + rng.randrange(9)) % 10
+    return src, dst
+
+
+def _q1_expr(rng: random.Random) -> Expr:
+    src, dst = _route(rng)
+    price = rng.choice(_PRICE_GRID)
+    return and_(
+        eq(call("has_direct", arg(ROW), src, dst), 1),
+        lt(call("direct_price", arg(ROW), src, dst), price),
+    )
+
+
+def _q2_expr(rng: random.Random) -> Expr:
+    src, dst = _route(rng)
+    price = rng.choice(_PRICE_GRID)
+    return and_(
+        eq(call("has_connection", arg(ROW), src, dst), 1),
+        lt(call("connecting_price", arg(ROW), src, dst), price),
+    )
+
+
+def _q3_expr(rng: random.Random) -> Expr:
+    src, dst = _route(rng)
+    price = rng.choice(_PRICE_GRID)
+    return lt(call("avg_price", arg(ROW), src, dst), price)
+
+
+def _maker(expr_fn):
+    def make(pid: str, rng: random.Random) -> Program:
+        return expr_to_program(pid, expr_fn(rng))
+
+    return make
+
+
+def make_batch(dataset: Dataset, family: str, n: int = 50, seed: int = 0) -> list[Program]:
+    if family == "Q1":
+        return batch_from_expr_family(_q1_expr, n, seed)
+    if family == "Q2":
+        return batch_from_expr_family(_q2_expr, n, seed)
+    if family == "Q3":
+        return batch_from_expr_family(_q3_expr, n, seed)
+    if family == "Mix":
+        weighted = list(zip(MIX_WEIGHTS, (_maker(_q1_expr), _maker(_q2_expr), _maker(_q3_expr))))
+        return mixed_batch(weighted, n, seed)
+    raise ValueError(f"unknown flight family {family!r}")

@@ -1,0 +1,59 @@
+"""News query families (Section 6.2, News Q1-Q3 and BC).
+
+Q1 filters articles containing a word from a fixed list (after the paper's
+WordCount-style tutorial program); Q2/Q3 filter by average / maximum word
+length.  "BC" draws boolean combinations of the base families — the batch
+used in the Figure 10 scalability sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datasets.records import Dataset
+from ..lang.ast import Expr, Program
+from ..lang.builder import arg, call, eq, gt, lt
+from .families import (
+    ROW,
+    batch_from_expr_family,
+    boolean_combination,
+    expr_to_program,
+)
+
+__all__ = ["FAMILY_NAMES", "make_batch"]
+
+FAMILY_NAMES = ["Q1", "Q2", "Q3", "BC"]
+
+_AVG_GRID = [30, 38, 42, 46, 50, 58]  # fixed-point x10 characters
+_MAX_GRID = [6, 7, 8, 9, 10]
+
+
+def _families(dataset: Dataset):
+    word_ids = list(dataset.meta["word_ids"].values())
+
+    def q1(rng: random.Random) -> Expr:
+        return eq(call("contains_word", arg(ROW), rng.choice(word_ids)), 1)
+
+    def q2(rng: random.Random) -> Expr:
+        return gt(call("avg_word_length", arg(ROW)), rng.choice(_AVG_GRID))
+
+    def q3(rng: random.Random) -> Expr:
+        return gt(call("max_word_length", arg(ROW)), rng.choice(_MAX_GRID))
+
+    return [q1, q2, q3]
+
+
+def make_batch(dataset: Dataset, family: str, n: int = 50, seed: int = 0) -> list[Program]:
+    base = _families(dataset)
+    if family == "Q1":
+        return batch_from_expr_family(base[0], n, seed)
+    if family == "Q2":
+        return batch_from_expr_family(base[1], n, seed)
+    if family == "Q3":
+        return batch_from_expr_family(base[2], n, seed)
+    if family == "BC":
+        rng = random.Random(seed)
+        return [
+            expr_to_program(f"q{i}", boolean_combination(base, rng)) for i in range(n)
+        ]
+    raise ValueError(f"unknown news family {family!r}")

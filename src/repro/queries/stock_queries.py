@@ -1,0 +1,56 @@
+"""Stock query families (Section 6.2, Stock Q1-Q3 and BC).
+
+Thresholds are drawn on grids spanning the generated distributions so the
+filters have realistic, varied selectivities; prices/deviations are
+fixed-point cents (x100) as produced by the dataset.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datasets.records import Dataset
+from ..lang.ast import Expr, Program
+from ..lang.builder import arg, call, gt
+from .families import (
+    ROW,
+    batch_from_expr_family,
+    boolean_combination,
+    expr_to_program,
+)
+
+__all__ = ["FAMILY_NAMES", "make_batch"]
+
+FAMILY_NAMES = ["Q1", "Q2", "Q3", "BC"]
+
+_VOLUME_GRID = [500_000, 1_000_000, 5_000_000, 10_000_000, 25_000_000]
+_VALUE_GRID = [2_000, 5_000, 10_000, 20_000, 40_000]  # cents
+_STDDEV_GRID = [200, 500, 1_000, 2_000, 5_000]  # cents
+
+
+def _q1(rng: random.Random) -> Expr:
+    return gt(call("avg_volume", arg(ROW)), rng.choice(_VOLUME_GRID))
+
+
+def _q2(rng: random.Random) -> Expr:
+    return gt(call("max_stock_value", arg(ROW)), rng.choice(_VALUE_GRID))
+
+
+def _q3(rng: random.Random) -> Expr:
+    return gt(call("stddev", arg(ROW)), rng.choice(_STDDEV_GRID))
+
+
+def make_batch(dataset: Dataset, family: str, n: int = 50, seed: int = 0) -> list[Program]:
+    if family == "Q1":
+        return batch_from_expr_family(_q1, n, seed)
+    if family == "Q2":
+        return batch_from_expr_family(_q2, n, seed)
+    if family == "Q3":
+        return batch_from_expr_family(_q3, n, seed)
+    if family == "BC":
+        rng = random.Random(seed)
+        bases = [_q1, _q2, _q3]
+        return [
+            expr_to_program(f"q{i}", boolean_combination(bases, rng)) for i in range(n)
+        ]
+    raise ValueError(f"unknown stock family {family!r}")

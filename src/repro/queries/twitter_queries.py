@@ -1,0 +1,56 @@
+"""Twitter query families (Section 6.2, Twitter Q1-Q3 and BC)."""
+
+from __future__ import annotations
+
+import random
+
+from ..datasets.records import Dataset
+from ..datasets.twitter import SENTIMENTS, TOPICS
+from ..lang.ast import Expr, Program
+from ..lang.builder import arg, call, ge, gt
+from .families import (
+    ROW,
+    batch_from_expr_family,
+    boolean_combination,
+    expr_to_program,
+)
+
+__all__ = ["FAMILY_NAMES", "make_batch"]
+
+FAMILY_NAMES = ["Q1", "Q2", "Q3", "BC"]
+
+_SMILEY_GRID = [1, 1, 2, 2, 3, 4]
+_SCORE_GRID = [40, 50, 60, 70, 80]
+# Popular sentiments/topics dominate, as in the paper's examples.
+_POPULAR_SENTIMENTS = [0, 0, 0, 1, 2, 5]
+_POPULAR_TOPICS = [0, 0, 1, 1, 2, 4]
+
+
+def _q1(rng: random.Random) -> Expr:
+    return ge(call("smiley_count", arg(ROW)), rng.choice(_SMILEY_GRID))
+
+
+def _q2(rng: random.Random) -> Expr:
+    sid = rng.choice(_POPULAR_SENTIMENTS) % len(SENTIMENTS)
+    return gt(call("sentiment_score", arg(ROW), sid), rng.choice(_SCORE_GRID))
+
+
+def _q3(rng: random.Random) -> Expr:
+    tid = rng.choice(_POPULAR_TOPICS) % len(TOPICS)
+    return gt(call("topic_score", arg(ROW), tid), rng.choice(_SCORE_GRID))
+
+
+def make_batch(dataset: Dataset, family: str, n: int = 50, seed: int = 0) -> list[Program]:
+    if family == "Q1":
+        return batch_from_expr_family(_q1, n, seed)
+    if family == "Q2":
+        return batch_from_expr_family(_q2, n, seed)
+    if family == "Q3":
+        return batch_from_expr_family(_q3, n, seed)
+    if family == "BC":
+        rng = random.Random(seed)
+        bases = [_q1, _q2, _q3]
+        return [
+            expr_to_program(f"q{i}", boolean_combination(bases, rng)) for i in range(n)
+        ]
+    raise ValueError(f"unknown twitter family {family!r}")

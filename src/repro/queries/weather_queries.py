@@ -1,0 +1,116 @@
+"""Weather query families (Section 6.2, Weather Q1-Q5).
+
+Q1/Q2 filter cities by a *monthly* average (temperature / rainfall); Q3/Q4
+by a *yearly* aggregate computed with an explicit month loop — the shape
+that exercises the Loop 2 fusion rule across queries.  Q5 ("Mix") samples
+50 queries from Q1..Q4 with the paper's distribution {15, 15, 10, 10}.
+
+Parameter realism: months cluster on a few popular choices (the paper's
+motivating scenario is many users of the same app), and thresholds are
+drawn from a small grid, so different queries often have *related*
+predicates (one implies another) without being identical.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datasets.records import Dataset
+from ..lang.ast import Expr, Program
+from ..lang.builder import (
+    add,
+    arg,
+    assign,
+    block,
+    call,
+    gt,
+    ite_notify,
+    le,
+    lt,
+    mul,
+    program,
+    var,
+    while_,
+)
+from .families import (
+    ROW,
+    batch_from_expr_family,
+    batch_from_program_family,
+    expr_to_program,
+    mixed_batch,
+)
+
+__all__ = ["FAMILY_NAMES", "make_batch", "MIX_WEIGHTS"]
+
+FAMILY_NAMES = ["Q1", "Q2", "Q3", "Q4", "Mix"]
+MIX_WEIGHTS = (15, 15, 10, 10)
+
+_POPULAR_MONTHS = [1, 1, 6, 7, 7, 7, 12, 12]  # clustered app behaviour
+_TEMP_GRID = [-10, 0, 20, 40, 50, 60, 80]  # fixed-point x10 degrees
+_RAIN_GRID = [20, 50, 80, 110, 140, 170]
+
+
+def _q1_expr(rng: random.Random) -> Expr:
+    month = rng.choice(_POPULAR_MONTHS)
+    threshold = rng.choice(_TEMP_GRID)
+    return gt(call("monthly_avg_temp", arg(ROW), month), threshold)
+
+
+def _q2_expr(rng: random.Random) -> Expr:
+    month = rng.choice(_POPULAR_MONTHS)
+    threshold = rng.choice(_RAIN_GRID)
+    return lt(call("monthly_rainfall", arg(ROW), month), threshold)
+
+
+def _yearly_loop(pid: str, accessor: str, threshold: int) -> Program:
+    """``sum accessor(row, m) for m in 1..12; notify sum > 12*threshold``."""
+
+    return program(
+        pid,
+        (ROW,),
+        assign("s", 0),
+        assign("m", 1),
+        while_(
+            le(var("m"), 12),
+            block(
+                assign("s", add(var("s"), call(accessor, arg(ROW), var("m")))),
+                assign("m", add(var("m"), 1)),
+            ),
+        ),
+        ite_notify(pid, gt(var("s"), 12 * threshold)),
+    )
+
+
+def _q3_program(pid: str, rng: random.Random) -> Program:
+    return _yearly_loop(pid, "monthly_avg_temp", rng.choice(_TEMP_GRID))
+
+
+def _q4_program(pid: str, rng: random.Random) -> Program:
+    return _yearly_loop(pid, "monthly_rainfall", rng.choice(_RAIN_GRID))
+
+
+def _q1_program(pid: str, rng: random.Random) -> Program:
+    return expr_to_program(pid, _q1_expr(rng))
+
+
+def _q2_program(pid: str, rng: random.Random) -> Program:
+    return expr_to_program(pid, _q2_expr(rng))
+
+
+def make_batch(dataset: Dataset, family: str, n: int = 50, seed: int = 0) -> list[Program]:
+    """Draw a batch of ``n`` UDFs from the named weather family."""
+
+    if family == "Q1":
+        return batch_from_expr_family(_q1_expr, n, seed)
+    if family == "Q2":
+        return batch_from_expr_family(_q2_expr, n, seed)
+    if family == "Q3":
+        return batch_from_program_family(_q3_program, n, seed)
+    if family == "Q4":
+        return batch_from_program_family(_q4_program, n, seed)
+    if family == "Mix":
+        weighted = list(
+            zip(MIX_WEIGHTS, (_q1_program, _q2_program, _q3_program, _q4_program))
+        )
+        return mixed_batch(weighted, n, seed)
+    raise ValueError(f"unknown weather family {family!r}")

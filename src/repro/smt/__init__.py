@@ -1,0 +1,72 @@
+"""A from-scratch SMT solver for QF_UFLIA (the paper's Z3 substitute).
+
+Layers, bottom to top:
+
+* :mod:`repro.smt.terms` — canonicalised terms and formulas,
+* :mod:`repro.smt.sat` — a CDCL SAT solver,
+* :mod:`repro.smt.cnf` — Tseitin encoding,
+* :mod:`repro.smt.euf` — congruence closure,
+* :mod:`repro.smt.lia` — Fourier–Motzkin integer refutation,
+* :mod:`repro.smt.combine` — Nelson–Oppen-style theory combination,
+* :mod:`repro.smt.solver` — the lazy DPLL(T) driver with memoisation,
+* :mod:`repro.smt.interface` — the IR ↔ SMT bridge.
+"""
+
+from .interface import (
+    EncodingError,
+    arg_sym,
+    encode_bool,
+    encode_expr,
+    encode_int,
+    intern_string,
+    var_sym,
+)
+from .models import (
+    evaluate_formula,
+    evaluate_term,
+    formula_model,
+    lia_model,
+    literals_model,
+)
+from .solver import Solver, SolverStats
+from .terms import (
+    App,
+    Eq,
+    FALSE_F,
+    FAnd,
+    FFalse,
+    FNot,
+    FOr,
+    FTrue,
+    Formula,
+    Le,
+    Lin,
+    Num,
+    Sym,
+    TRUE_F,
+    Term,
+    app,
+    as_linear,
+    cone_of_influence,
+    formula_tokens,
+    eq_f,
+    fand,
+    fiff,
+    fimplies,
+    fnot,
+    for_,
+    free_syms,
+    from_linear,
+    le_f,
+    lt_f,
+    ne_f,
+    num,
+    rename_syms,
+    rename_syms_term,
+    sym,
+    t_add,
+    t_mul,
+    t_neg,
+    t_scale,
+    t_sub,
+)

@@ -1,0 +1,136 @@
+"""Tseitin conversion from formulas to CNF over SAT variables.
+
+Each theory atom (``Le``/``Eq``) is mapped to one SAT variable; boolean
+structure receives fresh proxy variables with the standard equisatisfiable
+defining clauses.  Subformulas are cached structurally, so shared subtrees
+are encoded once.
+"""
+
+from __future__ import annotations
+
+from .sat import SatSolver
+from .terms import Eq, FAnd, FFalse, FNot, FOr, FTrue, Formula, Le
+
+__all__ = ["CnfBuilder"]
+
+
+class CnfBuilder:
+    """Encodes formulas into a :class:`SatSolver`, tracking the atom map."""
+
+    def __init__(self, sat: SatSolver) -> None:
+        self.sat = sat
+        self.atom_vars: dict[Formula, int] = {}
+        self.roots: list[Formula] = []
+        self._cache: dict[Formula, int] = {}
+        self._true_var: int | None = None
+
+    # The fixed variable representing logical truth.
+    def _true_literal(self) -> int:
+        if self._true_var is None:
+            self._true_var = self.sat.new_var()
+            self.sat.add_clause([self._true_var])
+        return self._true_var
+
+    def atom_var(self, f: Formula) -> int:
+        """The SAT variable standing for theory atom ``f``."""
+
+        v = self.atom_vars.get(f)
+        if v is None:
+            v = self.sat.new_var()
+            self.atom_vars[f] = v
+        return v
+
+    def literal(self, f: Formula) -> int:
+        """Tseitin-encode ``f``; returns the literal equivalent to it."""
+
+        cached = self._cache.get(f)
+        if cached is not None:
+            return cached
+        if isinstance(f, FTrue):
+            lit = self._true_literal()
+        elif isinstance(f, FFalse):
+            lit = -self._true_literal()
+        elif isinstance(f, (Le, Eq)):
+            lit = self.atom_var(f)
+        elif isinstance(f, FNot):
+            lit = -self.literal(f.operand)
+        elif isinstance(f, FAnd):
+            lits = [self.literal(g) for g in f.args]
+            proxy = self.sat.new_var()
+            for l in lits:
+                self.sat.add_clause([-proxy, l])
+            self.sat.add_clause([proxy] + [-l for l in lits])
+            lit = proxy
+        elif isinstance(f, FOr):
+            lits = [self.literal(g) for g in f.args]
+            proxy = self.sat.new_var()
+            self.sat.add_clause([-proxy] + lits)
+            for l in lits:
+                self.sat.add_clause([proxy, -l])
+            lit = proxy
+        else:
+            raise TypeError(f"not a formula: {f!r}")
+        self._cache[f] = lit
+        return lit
+
+    def assert_formula(self, f: Formula) -> None:
+        """Constrain the SAT instance so that ``f`` must hold."""
+
+        self.roots.append(f)
+        self.sat.add_clause([self.literal(f)])
+
+    # -- relevancy filtering ----------------------------------------------------
+
+    def _value(self, f: Formula, model: dict[int, bool]) -> bool:
+        lit = self._cache[f]
+        v = model.get(abs(lit), False)
+        return v if lit > 0 else not v
+
+    def sufficient_literals(self, model: dict[int, bool]) -> list[tuple[Formula, bool]]:
+        """A small set of atom literals that by itself satisfies the roots.
+
+        Walks each asserted formula under the model: a true ``or`` needs one
+        true disjunct, a false ``and`` one false conjunct.  Atoms outside
+        the returned set are don't-cares, so the theory solver never sees
+        the arbitrary phases the SAT search assigned them — without this,
+        every don't-care equality atom arrives as a disequality and the
+        arithmetic case-splitting cost explodes.
+        """
+
+        out: dict[Formula, bool] = {}
+
+        def walk(f: Formula) -> None:
+            if isinstance(f, (FTrue, FFalse)):
+                return
+            if isinstance(f, (Le, Eq)):
+                out[f] = self._value(f, model)
+                return
+            if isinstance(f, FNot):
+                walk(f.operand)
+                return
+            value = self._value(f, model)
+            if isinstance(f, FAnd):
+                if value:
+                    for g in f.args:
+                        walk(g)
+                else:
+                    for g in f.args:
+                        if not self._value(g, model):
+                            walk(g)
+                            return
+                return
+            if isinstance(f, FOr):
+                if value:
+                    for g in f.args:
+                        if self._value(g, model):
+                            walk(g)
+                            return
+                else:
+                    for g in f.args:
+                        walk(g)
+                return
+            raise TypeError(f"not a formula: {f!r}")
+
+        for root in self.roots:
+            walk(root)
+        return list(out.items())

@@ -1,0 +1,263 @@
+"""Lazy theory checker for conjunctions of QF_UFLIA literals.
+
+This is the ``T`` in the DPLL(T) loop of :mod:`repro.smt.solver`: given the
+theory literals of a propositional model, decide whether their conjunction
+is consistent in the combined theory of equality-with-uninterpreted-functions
+and linear integer arithmetic.
+
+The combination follows the Nelson–Oppen recipe, specialised to the small,
+mostly-equational problems consolidation produces:
+
+1. assert all equational consequences in the congruence closure,
+2. translate everything into the LIA engine using one proxy variable per
+   congruence class (classes merged with a numeral use the numeral),
+3. run the LIA refutation engine,
+4. probe LIA-implied equalities between interface atoms and feed them back
+   to the closure, repeating until a fixpoint or a conflict.
+
+Because integer arithmetic is non-convex, step 4's pairwise probing is not
+complete in general; it is, however, *sound* — every propagated equality is
+proved — so an ``unsat`` verdict is always a theorem, which is the property
+consolidation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .euf import CongruenceClosure
+from .lia import LinCon, lia_check
+from .terms import App, Eq, Formula, Le, Lin, Num, Sym, Term, as_linear, from_linear
+
+__all__ = ["TheoryLiteral", "TheoryResult", "check_literals", "minimize_core"]
+
+
+@dataclass(frozen=True)
+class TheoryLiteral:
+    """An assigned theory atom: ``kind`` in {'eq','le','ne'} applied to term=0."""
+
+    kind: str
+    term: Term
+
+    @staticmethod
+    def from_formula(f: Formula, positive: bool) -> "TheoryLiteral":
+        if isinstance(f, Eq):
+            return TheoryLiteral("eq" if positive else "ne", f.term)
+        if isinstance(f, Le):
+            if positive:
+                return TheoryLiteral("le", f.term)
+            # not (t <= 0)  ==  1 - t <= 0 ; fnot() normally rewrites this
+            # away, but assignments from the SAT core may still expose it.
+            const, coeffs = as_linear(f.term)
+            flipped = from_linear(1 - const, {a: -c for a, c in coeffs.items()})
+            return TheoryLiteral("le", flipped)
+        raise TypeError(f"not a theory atom: {f!r}")
+
+
+@dataclass
+class TheoryResult:
+    status: str  # 'sat' | 'unsat' | 'unknown'
+    core: tuple[TheoryLiteral, ...] = ()
+
+
+_MAX_PROPAGATION_ROUNDS = 6
+
+
+def _equality_sides(term: Term) -> tuple[Term, Term]:
+    """Split ``term = 0`` into ``lhs = rhs`` with non-negative parts."""
+
+    const, coeffs = as_linear(term)
+    pos = {a: c for a, c in coeffs.items() if c > 0}
+    neg = {a: -c for a, c in coeffs.items() if c < 0}
+    lhs = from_linear(const if const > 0 else 0, pos)
+    rhs = from_linear(-const if const < 0 else 0, neg)
+    return lhs, rhs
+
+
+def _collect_atoms(term: Term, out: set[Term]) -> None:
+    """All Sym/App atoms of ``term``, including those nested in App args."""
+
+    if isinstance(term, Sym):
+        out.add(term)
+    elif isinstance(term, App):
+        out.add(term)
+        for a in term.args:
+            _collect_atoms(a, out)
+    elif isinstance(term, Lin):
+        for atom, _coef in term.coeffs:
+            _collect_atoms(atom, out)
+
+
+def _lin_over_classes(term: Term, cc: CongruenceClosure) -> tuple[dict[object, int], int]:
+    """Flatten ``term`` to LIA coefficients over congruence-class handles.
+
+    An atom whose class contains a numeral contributes that constant; other
+    atoms contribute their class root id as the LIA variable handle, so
+    CC-equal atoms share one LIA variable.  (Arithmetic relations between
+    classes are conveyed by the ``eq`` constraints themselves, so no
+    expansion of arithmetic class members is needed here.)
+    """
+
+    const, coeffs = as_linear(term)
+    out: dict[object, int] = {}
+    total = const
+    for atom, coef in coeffs.items():
+        c = cc.constant_of(atom)
+        if c is not None:
+            total += coef * c
+            continue
+        handle = cc.root_id(atom)
+        out[handle] = out.get(handle, 0) + coef
+    return out, total
+
+
+_CHECK_CACHE: dict[frozenset, str] = {}
+_CHECK_CACHE_LIMIT = 200_000
+
+
+def check_literals(literals: list[TheoryLiteral]) -> TheoryResult:
+    """Decide the conjunction of ``literals`` in QF_UFLIA.
+
+    Results are memoised on the literal set — the core-minimisation loop
+    re-checks overlapping subsets aggressively, and the DPLL(T) loop often
+    revisits the same sub-assignment across lemma rounds.
+    """
+
+    key = frozenset(literals)
+    cached = _CHECK_CACHE.get(key)
+    if cached is not None:
+        return TheoryResult(cached, tuple(literals) if cached == "unsat" else ())
+    result = _check_literals_uncached(literals)
+    if len(_CHECK_CACHE) < _CHECK_CACHE_LIMIT:
+        _CHECK_CACHE[key] = result.status
+    return result
+
+
+def _check_literals_uncached(literals: list[TheoryLiteral]) -> TheoryResult:
+    # 1. Congruence closure over the asserted equalities — built once;
+    #    propagated equalities are merged into it incrementally below.
+    cc = CongruenceClosure()
+    for lit in literals:
+        cc.add_term(lit.term)
+        if lit.kind == "eq":
+            lhs, rhs = _equality_sides(lit.term)
+            cc.assert_equal(lhs, rhs)
+
+    for _round in range(_MAX_PROPAGATION_ROUNDS):
+        if cc.has_constant_conflict():
+            return TheoryResult("unsat", tuple(literals))
+
+        # 2. Build the LIA problem over class handles.
+        eqs: list[LinCon] = []
+        les: list[LinCon] = []
+        nes: list[LinCon] = []
+        for lit in literals:
+            coeffs, const = _lin_over_classes(lit.term, cc)
+            con = LinCon.make(coeffs, const)
+            if lit.kind == "eq":
+                eqs.append(con)
+            elif lit.kind == "le":
+                les.append(con)
+            else:
+                nes.append(con)
+        # Classes merged with numerals already substituted; classes holding
+        # two merged atoms share a handle, so CC equalities are implicit.
+        status = lia_check(eqs, les, nes)
+        if status == "unsat":
+            return TheoryResult("unsat", tuple(literals))
+
+        # 3. Probe for LIA-implied equalities between *relevant* pairs and
+        #    feed them back (Nelson-Oppen propagation, sound but partial).
+        #    Only equalities between same-position arguments of two
+        #    applications of the same function can trigger new congruences,
+        #    so those are the only pairs worth a solver probe.
+        # The closure must stay frozen during the probe loop — the LIA
+        # problem above was built against its current class handles — so
+        # proved equalities are collected first and merged afterwards.
+        proved: list[tuple[Term, Term]] = []
+        for a, b in _congruence_candidate_pairs(literals, cc):
+            ca, consta = _lin_over_classes(a, cc)
+            cb, constb = _lin_over_classes(b, cc)
+            diff = dict(ca)
+            for v, c in cb.items():
+                diff[v] = diff.get(v, 0) - c
+            witness = LinCon.make(diff, consta - constb)
+            if lia_check(eqs, les, nes + [witness]) == "unsat":
+                proved.append((a, b))
+        if not proved:
+            return TheoryResult("sat" if status == "sat" else "unknown")
+        for a, b in proved:
+            cc.assert_equal(a, b)
+
+    return TheoryResult("unknown")
+
+
+_MAX_CANDIDATE_PAIRS = 40
+
+
+def _congruence_candidate_pairs(
+    literals: list[TheoryLiteral], cc: CongruenceClosure
+) -> list[tuple[Term, Term]]:
+    """Argument pairs whose equality could merge two applications."""
+
+    by_func: dict[tuple[str, int], list[App]] = {}
+    seen_apps: set[App] = set()
+    atoms: set[Term] = set()
+    for lit in literals:
+        _collect_atoms(lit.term, atoms)
+    for atom in atoms:
+        if isinstance(atom, App) and atom not in seen_apps:
+            seen_apps.add(atom)
+            by_func.setdefault((atom.func, len(atom.args)), []).append(atom)
+    pairs: list[tuple[Term, Term]] = []
+    seen_pairs: set[tuple[Term, Term]] = set()
+    for group in by_func.values():
+        group.sort(key=repr)
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                if cc.are_equal(group[i], group[j]):
+                    continue
+                # Congruence needs *every* argument position to merge, and
+                # distinct numerals never can — skip such pairs entirely.
+                if any(
+                    isinstance(x, Num) and isinstance(y, Num) and x != y
+                    for x, y in zip(group[i].args, group[j].args)
+                ):
+                    continue
+                for x, y in zip(group[i].args, group[j].args):
+                    if cc.are_equal(x, y):
+                        continue
+                    key = (x, y) if repr(x) <= repr(y) else (y, x)
+                    if key not in seen_pairs:
+                        seen_pairs.add(key)
+                        pairs.append(key)
+                    if len(pairs) >= _MAX_CANDIDATE_PAIRS:
+                        return pairs
+    return pairs
+
+
+def minimize_core(
+    literals: list[TheoryLiteral], budget: int = 12
+) -> tuple[TheoryLiteral, ...]:
+    """Greedy deletion-based minimisation of an unsat literal set.
+
+    Each surviving literal is necessary relative to the others (a local
+    minimum).  ``budget`` caps both the input size and the number of
+    re-checks; the full set is returned unminimised when either would be
+    exceeded, which is sound (just a weaker blocking lemma for the SAT
+    core — relevancy filtering already keeps these sets small).
+    """
+
+    if len(literals) > budget:
+        return tuple(literals)
+    core = list(literals)
+    checks = 0
+    i = 0
+    while i < len(core) and checks < budget:
+        candidate = core[:i] + core[i + 1 :]
+        checks += 1
+        if candidate and check_literals(candidate).status == "unsat":
+            core = candidate
+        else:
+            i += 1
+    return tuple(core)

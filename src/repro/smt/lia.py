@@ -1,0 +1,304 @@
+"""Linear integer arithmetic decision engine (Fourier–Motzkin based).
+
+Decides conjunctions of linear equalities, inequalities and disequalities
+over integer-valued unknowns.  The design point matches its use inside the
+lazy theory combination:
+
+* **UNSAT answers are proofs.**  Every refutation is a chain of valid
+  derivations (gcd divisibility checks, unit-coefficient Gaussian
+  elimination, Fourier–Motzkin combinations with integer tightening,
+  case splits on disequalities), so an ``unsat`` verdict can be trusted by
+  the consolidation calculus.
+* **SAT answers may be approximate.**  Fourier–Motzkin establishes rational
+  satisfiability; in rare integer-only-unsat corners (and when budgets are
+  exceeded) the engine answers ``sat``/``unknown``, which merely makes the
+  optimiser skip an opportunity — never produce wrong code.
+
+Constraints are kept as ``coeffs . vars + const (<=|=|!=) 0`` with
+coefficient maps keyed by arbitrary hashable variable handles (the combiner
+uses term atoms directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Hashable, Iterable
+
+__all__ = ["LinCon", "LiaStatus", "lia_check", "lia_implies_eq"]
+
+Var = Hashable
+
+
+@dataclass(frozen=True)
+class LinCon:
+    """A linear constraint ``sum(coeffs[v] * v) + const  REL  0``."""
+
+    coeffs: tuple[tuple[Var, int], ...]
+    const: int
+
+    @staticmethod
+    def make(coeffs: dict[Var, int], const: int) -> "LinCon":
+        items = tuple(sorted(((v, c) for v, c in coeffs.items() if c != 0), key=lambda p: repr(p[0])))
+        return LinCon(items, const)
+
+    def coeff_map(self) -> dict[Var, int]:
+        return dict(self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+
+LiaStatus = str  # 'sat' | 'unsat' | 'unknown'
+
+_DISEQ_SPLIT_LIMIT = 10  # max disequalities to case-split (2^10 branches worst case)
+_FM_CONSTRAINT_BUDGET = 4000
+
+
+def _normalize_le(coeffs: dict[Var, int], const: int) -> LinCon | None:
+    """Canonicalise ``<= 0``; returns None if trivially true, raises on false."""
+
+    coeffs = {v: c for v, c in coeffs.items() if c != 0}
+    if not coeffs:
+        if const <= 0:
+            return None
+        raise _Unsat()
+    g = 0
+    for c in coeffs.values():
+        g = gcd(g, abs(c))
+    if g > 1:
+        coeffs = {v: c // g for v, c in coeffs.items()}
+        const = -((-const) // g)  # integer tightening
+    return LinCon.make(coeffs, const)
+
+
+def _normalize_eq(coeffs: dict[Var, int], const: int) -> LinCon | None:
+    coeffs = {v: c for v, c in coeffs.items() if c != 0}
+    if not coeffs:
+        if const == 0:
+            return None
+        raise _Unsat()
+    g = 0
+    for c in coeffs.values():
+        g = gcd(g, abs(c))
+    if g > 1:
+        if const % g != 0:
+            raise _Unsat()
+        coeffs = {v: c // g for v, c in coeffs.items()}
+        const //= g
+    return LinCon.make(coeffs, const)
+
+
+class _Unsat(Exception):
+    """Internal signal: the current conjunction is refuted."""
+
+
+class _Budget(Exception):
+    """Internal signal: resource budget exhausted; answer 'unknown'."""
+
+
+def _substitute(con: LinCon, var: Var, replacement: dict[Var, int], rep_const: int) -> tuple[dict[Var, int], int]:
+    """Replace ``var`` by ``replacement + rep_const`` inside ``con``."""
+
+    coeffs = con.coeff_map()
+    k = coeffs.pop(var, 0)
+    const = con.const
+    if k:
+        for v, c in replacement.items():
+            coeffs[v] = coeffs.get(v, 0) + k * c
+        const += k * rep_const
+    return coeffs, const
+
+
+def _eliminate_equalities(
+    eqs: list[LinCon], les: list[LinCon], diseqs: list[LinCon]
+) -> tuple[list[LinCon], list[LinCon], list[LinCon]]:
+    """Gaussian elimination using unit-coefficient pivots.
+
+    Equalities without a unit coefficient are deferred: they are turned into
+    opposing inequalities at the end (sound; loses only some integer-level
+    refutation power, which the gcd checks partially recover).
+    """
+
+    eqs = list(eqs)
+    les = list(les)
+    diseqs = list(diseqs)
+    progress = True
+    while progress:
+        progress = False
+        for i, eq in enumerate(eqs):
+            pivot = next((v for v, c in eq.coeffs if abs(c) == 1), None)
+            if pivot is None:
+                continue
+            coeffs = eq.coeff_map()
+            k = coeffs.pop(pivot)
+            # pivot = (-const - rest) / k with k = +-1
+            replacement = {v: -c * k for v, c in coeffs.items()}
+            rep_const = -eq.const * k
+            new_eqs: list[LinCon] = []
+            for j, other in enumerate(eqs):
+                if j == i:
+                    continue
+                cs, cn = _substitute(other, pivot, replacement, rep_const)
+                norm = _normalize_eq(cs, cn)
+                if norm is not None:
+                    new_eqs.append(norm)
+            new_les: list[LinCon] = []
+            for other in les:
+                cs, cn = _substitute(other, pivot, replacement, rep_const)
+                norm = _normalize_le(cs, cn)
+                if norm is not None:
+                    new_les.append(norm)
+            new_diseqs: list[LinCon] = []
+            for other in diseqs:
+                cs, cn = _substitute(other, pivot, replacement, rep_const)
+                cs = {v: c for v, c in cs.items() if c != 0}
+                if not cs:
+                    if cn == 0:
+                        raise _Unsat()
+                    continue  # constant nonzero: satisfied
+                new_diseqs.append(LinCon.make(cs, cn))
+            eqs, les, diseqs = new_eqs, new_les, new_diseqs
+            progress = True
+            break
+    # Residual non-unit equalities become inequality pairs.
+    for eq in eqs:
+        les.append(LinCon(eq.coeffs, eq.const))
+        les.append(LinCon(tuple((v, -c) for v, c in eq.coeffs), -eq.const))
+    return [], les, diseqs
+
+
+def _fourier_motzkin(les: list[LinCon]) -> None:
+    """Refute or accept a conjunction of ``<= 0`` constraints; raises on unsat."""
+
+    # Deduplicate.
+    current: set[LinCon] = set()
+    for con in les:
+        norm = _normalize_le(con.coeff_map(), con.const)
+        if norm is not None:
+            current.add(norm)
+    total = len(current)
+
+    while True:
+        variables: dict[Var, tuple[int, int]] = {}
+        for con in current:
+            for v, c in con.coeffs:
+                pos, neg = variables.get(v, (0, 0))
+                if c > 0:
+                    variables[v] = (pos + 1, neg)
+                else:
+                    variables[v] = (pos, neg + 1)
+        if not variables:
+            return  # only constant constraints remained, all satisfied
+        # Pick the variable minimising the number of generated combinations.
+        var = min(variables, key=lambda v: variables[v][0] * variables[v][1])
+        pos_cons = [c for c in current if dict(c.coeffs).get(var, 0) > 0]
+        neg_cons = [c for c in current if dict(c.coeffs).get(var, 0) < 0]
+        rest = [c for c in current if dict(c.coeffs).get(var, 0) == 0]
+        new: set[LinCon] = set(rest)
+        for p in pos_cons:
+            pc = p.coeff_map()
+            a = pc[var]
+            for n in neg_cons:
+                nc = n.coeff_map()
+                b = -nc[var]
+                combined: dict[Var, int] = {}
+                for v, c in pc.items():
+                    if v != var:
+                        combined[v] = combined.get(v, 0) + b * c
+                for v, c in nc.items():
+                    if v != var:
+                        combined[v] = combined.get(v, 0) + a * c
+                norm = _normalize_le(combined, b * p.const + a * n.const)
+                if norm is not None:
+                    new.add(norm)
+        total += len(new)
+        if total > _FM_CONSTRAINT_BUDGET:
+            raise _Budget()
+        current = new
+        if not current:
+            return
+
+
+def _check_conjunction(les: list[LinCon], diseqs: list[LinCon], depth: int) -> LiaStatus:
+    if not diseqs:
+        try:
+            _fourier_motzkin(les)
+            return "sat"
+        except _Unsat:
+            return "unsat"
+        except _Budget:
+            return "unknown"
+    if depth >= _DISEQ_SPLIT_LIMIT:
+        # Too many splits: drop remaining disequalities (weakens toward SAT).
+        status = _check_conjunction(les, [], depth)
+        return "unknown" if status == "sat" else status
+    head, *tail = diseqs
+    # t != 0  ==>  t <= -1  or  t >= 1 ; each branch may itself be refuted
+    # during normalisation, which refutes only that branch.
+    results: list[LiaStatus] = []
+    branches = (
+        (head.coeff_map(), head.const + 1),
+        ({v: -c for v, c in head.coeffs}, -head.const + 1),
+    )
+    for coeffs, const in branches:
+        try:
+            extra = _normalize_le(dict(coeffs), const)
+        except _Unsat:
+            results.append("unsat")
+            continue
+        branch = list(les) + ([extra] if extra is not None else [])
+        results.append(_check_conjunction(branch, tail, depth + 1))
+    if "sat" in results:
+        return "sat"
+    if "unknown" in results:
+        return "unknown"
+    return "unsat"
+
+
+def lia_check(
+    eqs: Iterable[LinCon],
+    les: Iterable[LinCon],
+    diseqs: Iterable[LinCon] = (),
+) -> LiaStatus:
+    """Decide ``/\\ eqs = 0  /\\ les <= 0  /\\ diseqs != 0``.
+
+    Returns ``'unsat'`` only with a valid refutation; ``'sat'`` / ``'unknown'``
+    otherwise (see module docstring for the asymmetry rationale).
+    """
+
+    try:
+        norm_eqs: list[LinCon] = []
+        for eq in eqs:
+            n = _normalize_eq(eq.coeff_map(), eq.const)
+            if n is not None:
+                norm_eqs.append(n)
+        norm_les: list[LinCon] = []
+        for le in les:
+            n = _normalize_le(le.coeff_map(), le.const)
+            if n is not None:
+                norm_les.append(n)
+        norm_dis: list[LinCon] = []
+        for d in diseqs:
+            coeffs = {v: c for v, c in d.coeffs if c != 0}
+            if not coeffs:
+                if d.const == 0:
+                    return "unsat"
+                continue
+            norm_dis.append(LinCon.make(coeffs, d.const))
+        _, les2, dis2 = _eliminate_equalities(norm_eqs, norm_les, norm_dis)
+        return _check_conjunction(les2, dis2, 0)
+    except _Unsat:
+        return "unsat"
+    except _Budget:
+        return "unknown"
+
+
+def lia_implies_eq(
+    eqs: list[LinCon], les: list[LinCon], diseqs: list[LinCon], u: Var, v: Var
+) -> bool:
+    """Whether the constraint set entails ``u = v`` (proved, not guessed)."""
+
+    witness = LinCon.make({u: 1, v: -1}, 0)
+    return lia_check(eqs, les, diseqs + [witness]) == "unsat"

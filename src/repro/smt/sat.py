@@ -1,0 +1,312 @@
+"""A CDCL SAT solver (the propositional core of the DPLL(T) loop).
+
+Features: two-watched-literal propagation, first-UIP conflict analysis with
+clause learning, VSIDS-style activity with exponential decay, geometric
+restarts, and incremental clause addition between ``solve`` calls (used by
+the lazy theory-lemma loop in :mod:`repro.smt.solver`).
+
+Literals follow the DIMACS convention: variables are positive integers and a
+literal is ``+v`` or ``-v``.  The solver is deliberately self-contained —
+it knows nothing about theories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SatSolver", "SatResult"]
+
+
+@dataclass
+class SatResult:
+    """Outcome of a ``solve`` call."""
+
+    status: str  # 'sat' | 'unsat' | 'unknown'
+    model: dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class SatSolver:
+    """CDCL solver over integer-labelled variables."""
+
+    def __init__(self, conflict_budget: int = 200_000) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}  # literal -> clause indices
+        self.assign: dict[int, bool] = {}
+        self.level: dict[int, int] = {}
+        self.reason: dict[int, int | None] = {}  # var -> clause idx or None
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.activity: dict[int, float] = {}
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.conflict_budget = conflict_budget
+        self._unsat = False
+        self._qhead = 0
+
+    # -- construction --------------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        v = self.num_vars
+        self.activity[v] = 0.0
+        return v
+
+    def ensure_var(self, v: int) -> None:
+        while self.num_vars < v:
+            self.new_var()
+
+    def reset_to_root(self) -> None:
+        """Backtrack to decision level zero (required before adding clauses)."""
+
+        self._cancel_until(0)
+
+    def add_clause(self, lits: list[int]) -> None:
+        """Add a clause; duplicates removed, tautologies dropped."""
+
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+                self.ensure_var(abs(lit))
+        if not clause:
+            self._unsat = True
+            return
+        # Adding clauses is only legal at decision level 0.
+        assert not self.trail_lim, "add_clause while search is in progress"
+        if len(clause) == 1:
+            lit = clause[0]
+            current = self.assign.get(abs(lit))
+            if current is None:
+                self._enqueue(lit, None)
+            elif current != (lit > 0):
+                self._unsat = True
+            return
+        idx = len(self.clauses)
+        self.clauses.append(clause)
+        self.watches.setdefault(clause[0], []).append(idx)
+        self.watches.setdefault(clause[1], []).append(idx)
+
+    # -- trail management -----------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: int | None) -> None:
+        v = abs(lit)
+        self.assign[v] = lit > 0
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason
+        self.trail.append(lit)
+
+    def _value(self, lit: int) -> bool | None:
+        v = self.assign.get(abs(lit))
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def _cancel_until(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            start = self.trail_lim.pop()
+            for lit in self.trail[start:]:
+                v = abs(lit)
+                del self.assign[v]
+                del self.level[v]
+                del self.reason[v]
+            del self.trail[start:]
+        self._qhead = min(self._qhead, len(self.trail))
+
+    # -- propagation -----------------------------------------------------------
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or None."""
+
+        while self._qhead < len(self.trail):
+            lit = self.trail[self._qhead]
+            self._qhead += 1
+            falsified = -lit
+            watch_list = self.watches.get(falsified, [])
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                clause = self.clauses[ci]
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    i += 1
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        self.watches.setdefault(clause[1], []).append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._value(first) is False:
+                    return ci
+                self._enqueue(first, ci)
+                i += 1
+        return None
+
+    # -- conflict analysis -------------------------------------------------------
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP analysis; returns (learnt clause, backjump level)."""
+
+        learnt: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        lit = 0
+        clause = self.clauses[conflict]
+        index = len(self.trail)
+        current_level = len(self.trail_lim)
+
+        while True:
+            for q in clause:
+                if q == lit:
+                    continue
+                v = abs(q)
+                if v in seen or self.level[v] == 0:
+                    continue
+                seen.add(v)
+                self._bump(v)
+                if self.level[v] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Find the next literal on the trail to resolve.
+            while True:
+                index -= 1
+                lit = -self.trail[index]
+                if abs(lit) in seen:
+                    break
+            counter -= 1
+            seen.discard(abs(lit))
+            if counter == 0:
+                learnt.append(lit)
+                break
+            reason = self.reason[abs(lit)]
+            assert reason is not None
+            clause = self.clauses[reason]
+            lit = -lit  # the literal as it appears in its reason clause
+
+        # learnt[-1] is the asserting (UIP) literal; move it to front.
+        learnt.reverse()
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest decision level in the clause.
+        levels = sorted((self.level[abs(l)] for l in learnt[1:]), reverse=True)
+        return learnt, levels[0]
+
+    def _bump(self, v: int) -> None:
+        self.activity[v] = self.activity.get(v, 0.0) + self.var_inc
+        if self.activity[v] > 1e100:
+            for k in self.activity:
+                self.activity[k] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self.var_inc /= self.var_decay
+
+    # -- search ---------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int | None:
+        best: int | None = None
+        best_act = -1.0
+        for v in range(1, self.num_vars + 1):
+            if v not in self.assign and self.activity.get(v, 0.0) > best_act:
+                best = v
+                best_act = self.activity[v]
+        return best
+
+    def solve(self, assumptions: list[int] | None = None) -> SatResult:
+        """Search for a model extending ``assumptions``.
+
+        Between calls, learnt clauses are kept; the trail is reset to level
+        zero first, so repeated calls with new clauses (theory lemmas)
+        resume efficiently.
+        """
+
+        if self._unsat:
+            return SatResult("unsat")
+        self._cancel_until(0)
+        self._qhead = 0
+        if self._propagate() is not None:
+            self._unsat = True
+            return SatResult("unsat")
+
+        conflicts = 0
+        restart_limit = 64
+
+        # Apply assumptions as pseudo-decisions at their own levels.
+        assumptions = list(assumptions or [])
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                if conflicts > self.conflict_budget:
+                    return SatResult("unknown")
+                if not self.trail_lim:
+                    self._unsat = True
+                    return SatResult("unsat")
+                learnt, back_level = self._analyze(conflict)
+                # Never backjump above an assumption level.
+                self._cancel_until(back_level)
+                if len(learnt) == 1:
+                    current = self._value(learnt[0])
+                    if current is False:
+                        self._unsat = True
+                        return SatResult("unsat")
+                    if current is None:
+                        self._enqueue(learnt[0], None)
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learnt)
+                    self.watches.setdefault(learnt[0], []).append(idx)
+                    self.watches.setdefault(learnt[1], []).append(idx)
+                    self._enqueue(learnt[0], idx)
+                self._decay()
+                if conflicts % restart_limit == 0:
+                    restart_limit = int(restart_limit * 1.5)
+                    self._cancel_until(0)
+                continue
+
+            # Assumption handling: enqueue any unassigned assumption next.
+            pending = None
+            for a in assumptions:
+                val = self._value(a)
+                if val is False:
+                    return SatResult("unsat")
+                if val is None:
+                    pending = a
+                    break
+            if pending is not None:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(pending, None)
+                continue
+
+            v = self._pick_branch_var()
+            if v is None:
+                return SatResult("sat", dict(self.assign))
+            self.trail_lim.append(len(self.trail))
+            # Phase saving would go here; default to False first, which
+            # biases toward small models of the blocking-clause loop.
+            self._enqueue(-v, None)

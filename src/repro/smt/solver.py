@@ -1,0 +1,164 @@
+"""The SMT solver facade: lazy DPLL(T) over SAT + (EUF ∪ LIA).
+
+This is the component the consolidation calculus treats as "the SMT solver"
+(the paper uses Z3; see DESIGN.md for the substitution note).  The public
+entry points are :meth:`Solver.is_sat`, :meth:`Solver.is_valid` and
+:meth:`Solver.entails`, all memoised — the consolidation algorithm fires
+thousands of near-identical queries while walking two programs, and the
+cache is what keeps consolidation in the paper's sub-second regime.
+
+Soundness contract (what the calculus relies on):
+
+* ``is_valid(f) == True``  only when ``not f`` was *refuted* by a valid
+  derivation (SAT resolution + theory lemmas that are themselves theorems).
+* Any budget exhaustion or incompleteness surfaces as ``'unknown'`` /
+  ``False``, which makes the optimiser skip an opportunity — never
+  mis-transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cnf import CnfBuilder
+from .combine import TheoryLiteral, check_literals, minimize_core
+from .sat import SatSolver
+from .terms import (
+    Eq,
+    FALSE_F,
+    Formula,
+    Le,
+    TRUE_F,
+    fand,
+    fnot,
+    for_,
+)
+
+__all__ = ["Solver", "SolverStats", "CheckResult"]
+
+CheckResult = str  # 'sat' | 'unsat' | 'unknown'
+
+
+@dataclass
+class SolverStats:
+    """Counters for reporting and the scalability experiments."""
+
+    checks: int = 0
+    cache_hits: int = 0
+    theory_rounds: int = 0
+    sat_calls: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "checks": self.checks,
+            "cache_hits": self.cache_hits,
+            "theory_rounds": self.theory_rounds,
+            "sat_calls": self.sat_calls,
+        }
+
+
+class Solver:
+    """Memoising QF_UFLIA satisfiability/validity checker."""
+
+    def __init__(self, lemma_budget: int = 400, cache_size: int = 100_000) -> None:
+        self.lemma_budget = lemma_budget
+        self.cache_size = cache_size
+        self.stats = SolverStats()
+        self._sat_cache: dict[Formula, CheckResult] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def is_sat(self, f: Formula) -> CheckResult:
+        """Satisfiability of ``f`` in QF_UFLIA."""
+
+        self.stats.checks += 1
+        cached = self._sat_cache.get(f)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        result = self._check(f)
+        if len(self._sat_cache) < self.cache_size:
+            self._sat_cache[f] = result
+        return result
+
+    def is_valid(self, f: Formula) -> bool:
+        """True only when ``f`` is proved valid."""
+
+        return self.is_sat(fnot(f)) == "unsat"
+
+    def entails(self, hypothesis: Formula, goal: Formula) -> bool:
+        """``hypothesis |= goal`` — the judgment written ``Ψ |= e`` in Fig. 3."""
+
+        if isinstance(goal, type(TRUE_F)):
+            return True
+        return self.is_sat(fand(hypothesis, fnot(goal))) == "unsat"
+
+    def model(self, f: Formula):
+        """A verified model of ``f`` — ``(variables, function tables)`` —
+        or None when unsatisfiable / no witness constructible."""
+
+        from .models import formula_model
+
+        return formula_model(f, self)
+
+    def entails_not(self, hypothesis: Formula, goal: Formula) -> bool:
+        """``hypothesis |= not goal``."""
+
+        return self.is_sat(fand(hypothesis, goal)) == "unsat"
+
+    def equivalent(self, hypothesis: Formula, a: Formula, b: Formula) -> bool:
+        """Whether ``a`` and ``b`` agree under ``hypothesis`` (proved)."""
+
+        return self.entails(hypothesis, for_(fand(a, b), fand(fnot(a), fnot(b))))
+
+    # -- the DPLL(T) loop ----------------------------------------------------
+
+    def _check(self, f: Formula) -> CheckResult:
+        if isinstance(f, type(TRUE_F)):
+            return "sat"
+        if isinstance(f, type(FALSE_F)):
+            return "unsat"
+
+        sat = SatSolver()
+        builder = CnfBuilder(sat)
+        builder.assert_formula(f)
+
+        for _ in range(self.lemma_budget):
+            self.stats.sat_calls += 1
+            result = sat.solve()
+            if result.is_unsat:
+                return "unsat"
+            if result.status == "unknown":
+                return "unknown"
+
+            # Extract only the theory literals the model actually *needs*
+            # (don't-care atoms would otherwise flood the theory solver
+            # with meaningless disequalities).
+            assignment = builder.sufficient_literals(result.model)
+            literals = [
+                TheoryLiteral.from_formula(atom, value) for atom, value in assignment
+            ]
+
+            self.stats.theory_rounds += 1
+            verdict = check_literals(literals)
+            if verdict.status == "sat":
+                return "sat"
+            if verdict.status == "unknown":
+                return "unknown"
+
+            # Theory conflict: block (at least) the offending sub-assignment.
+            core = minimize_core(literals)
+            core_set = set(core)
+            block: list[int] = []
+            for (atom, value), lit in zip(assignment, literals):
+                if lit in core_set:
+                    var = builder.atom_vars[atom]
+                    block.append(-var if value else var)
+            if not block:
+                # The conflict involves no atoms (cannot happen for a real
+                # core, but guard against an empty minimisation result).
+                return "unsat"
+            sat.reset_to_root()
+            sat.add_clause(block)
+
+        return "unknown"

@@ -1,0 +1,538 @@
+"""Terms and formulas for the QF_UFLIA fragment used by consolidation.
+
+The consolidation calculus issues validity queries ``Ψ ⇒ φ`` in the combined
+theory of **linear integer arithmetic** and **uninterpreted functions**
+(Section 4 of the paper).  This module defines the term/formula language of
+that fragment, with aggressive canonicalisation:
+
+* Integer terms are kept in *linear normal form*: a :class:`Lin` node is a
+  constant plus a sorted sum of ``coefficient * atom`` monomials, where an
+  atom is a :class:`Sym` (integer variable) or :class:`App` (uninterpreted
+  function application).  Products of two non-constant terms are wrapped in
+  the uninterpreted function ``@mul`` — a sound weakening, since any fact
+  derivable with ``@mul`` uninterpreted also holds for real multiplication.
+* Atomic formulas are ``t <= 0`` (:class:`Le`) and ``t = 0`` (:class:`Eq`)
+  with ``t`` in linear normal form and integer-tightened: the coefficient
+  gcd is divided out (flooring the constant for ``Le``; refuting ``Eq``
+  outright when the gcd does not divide the constant).
+* ``not (t <= 0)`` is normalised to ``-t + 1 <= 0`` on construction, so the
+  only negative theory literal the solver ever sees is a disequality.
+
+Everything is immutable and structurally hashable, which makes formulas
+usable as cache keys for entailment memoisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Iterable, Iterator, Union
+
+__all__ = [
+    "Term",
+    "Num",
+    "Sym",
+    "App",
+    "Lin",
+    "Formula",
+    "FTrue",
+    "FFalse",
+    "Le",
+    "Eq",
+    "FNot",
+    "FAnd",
+    "FOr",
+    "TRUE_F",
+    "FALSE_F",
+    "num",
+    "sym",
+    "app",
+    "t_add",
+    "t_sub",
+    "t_neg",
+    "t_scale",
+    "t_mul",
+    "as_linear",
+    "from_linear",
+    "le_f",
+    "lt_f",
+    "eq_f",
+    "ne_f",
+    "fnot",
+    "fand",
+    "for_",
+    "fimplies",
+    "fiff",
+    "term_atoms",
+    "formula_atoms",
+    "formula_terms",
+    "rename_syms_term",
+    "rename_syms",
+    "free_syms",
+]
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class of integer-sorted terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Num(Term):
+    """An integer constant."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Sym(Term):
+    """An integer variable (program local, argument, or fresh name)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class App(Term):
+    """An uninterpreted function application ``f(t1..tk)``."""
+
+    func: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+
+@dataclass(frozen=True, slots=True)
+class Lin(Term):
+    """``const + sum(coef * atom)`` with atoms Sym/App, coefs nonzero, sorted.
+
+    Built only through :func:`from_linear`, which enforces the invariants;
+    a bare atom or constant is represented as itself, never as a ``Lin``.
+    """
+
+    const: int
+    coeffs: tuple[tuple[Term, int], ...]
+
+
+Atom = Union[Sym, App]
+
+
+def num(value: int) -> Num:
+    return Num(value)
+
+
+def sym(name: str) -> Sym:
+    return Sym(name)
+
+
+def app(func: str, *args: Term) -> App:
+    return App(func, tuple(args))
+
+
+def _atom_key(atom: Term) -> str:
+    return repr(atom)
+
+
+def as_linear(t: Term) -> tuple[int, dict[Term, int]]:
+    """Decompose ``t`` into ``(constant, {atom: coefficient})``."""
+
+    if isinstance(t, Num):
+        return t.value, {}
+    if isinstance(t, (Sym, App)):
+        return 0, {t: 1}
+    if isinstance(t, Lin):
+        return t.const, dict(t.coeffs)
+    raise TypeError(f"not a term: {t!r}")
+
+
+def from_linear(const: int, coeffs: dict[Term, int]) -> Term:
+    """Rebuild the canonical term for a linear decomposition."""
+
+    items = [(a, c) for a, c in coeffs.items() if c != 0]
+    if not items:
+        return Num(const)
+    if len(items) == 1 and const == 0 and items[0][1] == 1:
+        return items[0][0]
+    items.sort(key=lambda pair: _atom_key(pair[0]))
+    return Lin(const, tuple(items))
+
+
+def t_add(a: Term, b: Term) -> Term:
+    ca, ma = as_linear(a)
+    cb, mb = as_linear(b)
+    merged = dict(ma)
+    for atom, coef in mb.items():
+        merged[atom] = merged.get(atom, 0) + coef
+    return from_linear(ca + cb, merged)
+
+
+def t_neg(a: Term) -> Term:
+    return t_scale(-1, a)
+
+
+def t_sub(a: Term, b: Term) -> Term:
+    return t_add(a, t_neg(b))
+
+
+def t_scale(k: int, a: Term) -> Term:
+    if k == 0:
+        return Num(0)
+    ca, ma = as_linear(a)
+    return from_linear(k * ca, {atom: k * coef for atom, coef in ma.items()})
+
+
+def t_mul(a: Term, b: Term) -> Term:
+    """Multiplication: linear when either side is constant, else ``@mul``.
+
+    The uninterpreted wrapping is a sound under-approximation of the real
+    semantics (see module docstring); commutativity is recovered by sorting
+    the operands.
+    """
+
+    if isinstance(a, Num):
+        return t_scale(a.value, b)
+    if isinstance(b, Num):
+        return t_scale(b.value, a)
+    left, right = sorted((a, b), key=repr)
+    return App("@mul", (left, right))
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class of quantifier-free formulas."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class FTrue(Formula):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class FFalse(Formula):
+    pass
+
+
+TRUE_F = FTrue()
+FALSE_F = FFalse()
+
+
+@dataclass(frozen=True, slots=True)
+class Le(Formula):
+    """``term <= 0`` in integer-tightened linear normal form."""
+
+    term: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Eq(Formula):
+    """``term = 0`` in normalised linear form."""
+
+    term: Term
+
+
+@dataclass(frozen=True, slots=True)
+class FNot(Formula):
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class FAnd(Formula):
+    args: tuple[Formula, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FOr(Formula):
+    args: tuple[Formula, ...]
+
+
+def _coeff_gcd(coeffs: dict[Term, int]) -> int:
+    g = 0
+    for c in coeffs.values():
+        g = gcd(g, abs(c))
+    return g
+
+
+def le_f(lhs: Term, rhs: Term) -> Formula:
+    """``lhs <= rhs``, canonicalised and integer-tightened."""
+
+    const, coeffs = as_linear(t_sub(lhs, rhs))
+    coeffs = {a: c for a, c in coeffs.items() if c != 0}
+    if not coeffs:
+        return TRUE_F if const <= 0 else FALSE_F
+    g = _coeff_gcd(coeffs)
+    if g > 1:
+        # g*x + const <= 0  <=>  x <= floor(-const / g)  (integers only)
+        coeffs = {a: c // g for a, c in coeffs.items()}
+        const = -((-const) // g)
+    return Le(from_linear(const, coeffs))
+
+
+def lt_f(lhs: Term, rhs: Term) -> Formula:
+    """``lhs < rhs``  ==  ``lhs + 1 <= rhs`` over the integers."""
+
+    return le_f(t_add(lhs, Num(1)), rhs)
+
+
+def eq_f(lhs: Term, rhs: Term) -> Formula:
+    """``lhs = rhs``, canonicalised; sign-normalised and gcd-checked."""
+
+    const, coeffs = as_linear(t_sub(lhs, rhs))
+    coeffs = {a: c for a, c in coeffs.items() if c != 0}
+    if not coeffs:
+        return TRUE_F if const == 0 else FALSE_F
+    g = _coeff_gcd(coeffs)
+    if g > 1:
+        if const % g != 0:
+            return FALSE_F
+        coeffs = {a: c // g for a, c in coeffs.items()}
+        const //= g
+    # Fix the sign of the first (smallest-keyed) coefficient for canonicity.
+    first = min(coeffs, key=_atom_key)
+    if coeffs[first] < 0:
+        coeffs = {a: -c for a, c in coeffs.items()}
+        const = -const
+    return Eq(from_linear(const, coeffs))
+
+
+def ne_f(lhs: Term, rhs: Term) -> Formula:
+    return fnot(eq_f(lhs, rhs))
+
+
+def fnot(f: Formula) -> Formula:
+    """Negation, pushing through constants and ``<=`` atoms.
+
+    ``not (t <= 0)`` becomes ``1 - t <= 0`` (i.e. ``t >= 1``), so negated
+    inequalities never survive as negative literals.
+    """
+
+    if isinstance(f, FTrue):
+        return FALSE_F
+    if isinstance(f, FFalse):
+        return TRUE_F
+    if isinstance(f, FNot):
+        return f.operand
+    if isinstance(f, Le):
+        return le_f(Num(1), f.term)
+    return FNot(f)
+
+
+def fand(*fs: Formula) -> Formula:
+    flat: list[Formula] = []
+    for f in fs:
+        if isinstance(f, FFalse):
+            return FALSE_F
+        if isinstance(f, FTrue):
+            continue
+        if isinstance(f, FAnd):
+            flat.extend(f.args)
+        else:
+            flat.append(f)
+    # Deduplicate while preserving order (formulas hash structurally).
+    seen: set[Formula] = set()
+    unique = [f for f in flat if not (f in seen or seen.add(f))]
+    if not unique:
+        return TRUE_F
+    if len(unique) == 1:
+        return unique[0]
+    return FAnd(tuple(unique))
+
+
+def for_(*fs: Formula) -> Formula:
+    flat: list[Formula] = []
+    for f in fs:
+        if isinstance(f, FTrue):
+            return TRUE_F
+        if isinstance(f, FFalse):
+            continue
+        if isinstance(f, FOr):
+            flat.extend(f.args)
+        else:
+            flat.append(f)
+    seen: set[Formula] = set()
+    unique = [f for f in flat if not (f in seen or seen.add(f))]
+    if not unique:
+        return FALSE_F
+    if len(unique) == 1:
+        return unique[0]
+    return FOr(tuple(unique))
+
+
+def fimplies(a: Formula, b: Formula) -> Formula:
+    return for_(fnot(a), b)
+
+
+def fiff(a: Formula, b: Formula) -> Formula:
+    return fand(fimplies(a, b), fimplies(b, a))
+
+
+# ---------------------------------------------------------------------------
+# Traversal / substitution
+# ---------------------------------------------------------------------------
+
+
+def term_atoms(t: Term) -> Iterator[Term]:
+    """Top-level atoms (Sym/App) of a term, without descending into App args."""
+
+    if isinstance(t, (Sym, App)):
+        yield t
+    elif isinstance(t, Lin):
+        for atom, _coef in t.coeffs:
+            yield atom
+
+
+def formula_atoms(f: Formula) -> Iterator[Formula]:
+    """All theory atoms (``Le``/``Eq``) occurring in ``f``."""
+
+    if isinstance(f, (Le, Eq)):
+        yield f
+    elif isinstance(f, FNot):
+        yield from formula_atoms(f.operand)
+    elif isinstance(f, (FAnd, FOr)):
+        for g in f.args:
+            yield from formula_atoms(g)
+
+
+def formula_terms(f: Formula) -> Iterator[Term]:
+    for atom in formula_atoms(f):
+        yield atom.term  # type: ignore[union-attr]
+
+
+def rename_syms_term(t: Term, mapping: dict[str, Term]) -> Term:
+    """Substitute variables by terms, everywhere including App arguments."""
+
+    if isinstance(t, Num):
+        return t
+    if isinstance(t, Sym):
+        return mapping.get(t.name, t)
+    if isinstance(t, App):
+        return App(t.func, tuple(rename_syms_term(a, mapping) for a in t.args))
+    if isinstance(t, Lin):
+        result: Term = Num(t.const)
+        for atom, coef in t.coeffs:
+            result = t_add(result, t_scale(coef, rename_syms_term(atom, mapping)))
+        return result
+    raise TypeError(f"not a term: {t!r}")
+
+
+def rename_syms(f: Formula, mapping: dict[str, Term]) -> Formula:
+    """Substitute variables by terms throughout a formula (re-canonicalising)."""
+
+    if isinstance(f, (FTrue, FFalse)):
+        return f
+    if isinstance(f, Le):
+        return le_f(rename_syms_term(f.term, mapping), Num(0))
+    if isinstance(f, Eq):
+        return eq_f(rename_syms_term(f.term, mapping), Num(0))
+    if isinstance(f, FNot):
+        return fnot(rename_syms(f.operand, mapping))
+    if isinstance(f, FAnd):
+        return fand(*(rename_syms(g, mapping) for g in f.args))
+    if isinstance(f, FOr):
+        return for_(*(rename_syms(g, mapping) for g in f.args))
+    raise TypeError(f"not a formula: {f!r}")
+
+
+def _term_syms(t: Term, out: set[str]) -> None:
+    if isinstance(t, Sym):
+        out.add(t.name)
+    elif isinstance(t, App):
+        for a in t.args:
+            _term_syms(a, out)
+    elif isinstance(t, Lin):
+        for atom, _coef in t.coeffs:
+            _term_syms(atom, out)
+
+
+def free_syms(f: Formula) -> set[str]:
+    """All variable names occurring in ``f``."""
+
+    out: set[str] = set()
+    for t in formula_terms(f):
+        _term_syms(t, out)
+    return out
+
+
+def _is_ground(t: Term) -> bool:
+    if isinstance(t, Num):
+        return True
+    if isinstance(t, Sym):
+        return False
+    if isinstance(t, App):
+        return all(_is_ground(a) for a in t.args)
+    if isinstance(t, Lin):
+        return all(_is_ground(a) for a, _c in t.coeffs)
+    return False
+
+
+def _term_tokens(t: Term, out: set) -> None:
+    if isinstance(t, Sym):
+        out.add(t.name)
+    elif isinstance(t, App):
+        if _is_ground(t):
+            out.add(("app", t))
+        for a in t.args:
+            _term_tokens(a, out)
+    elif isinstance(t, Lin):
+        for atom, _coef in t.coeffs:
+            _term_tokens(atom, out)
+
+
+def formula_tokens(f: Formula) -> set:
+    """Interaction tokens: variable names plus ground-application keys.
+
+    Two conjuncts can influence a common entailment only through a chain of
+    shared tokens — shared variables, or equal ground applications such as
+    ``f(3)`` whose results congruence identifies.  Used by
+    :func:`cone_of_influence`.
+    """
+
+    out: set = set()
+    for t in formula_terms(f):
+        _term_tokens(t, out)
+    return out
+
+
+def cone_of_influence(hypothesis: Formula, goal: Formula) -> Formula:
+    """The conjuncts of ``hypothesis`` that can affect ``goal``.
+
+    Computes the token-overlap fixpoint starting from the goal's tokens.
+    Dropping the remaining conjuncts only *weakens* the hypothesis, so an
+    entailment proved from the cone is valid for the full context — while
+    the query formula stays small and stable enough to cache even as the
+    consolidation context grows with every consumed statement.
+    """
+
+    parts = list(hypothesis.args) if isinstance(hypothesis, FAnd) else [hypothesis]
+    if len(parts) <= 1:
+        return hypothesis
+    part_tokens = [(p, formula_tokens(p)) for p in parts]
+    reached = formula_tokens(goal)
+    kept: list[Formula] = []
+    pending = part_tokens
+    changed = True
+    while changed:
+        changed = False
+        remaining = []
+        for p, tokens in pending:
+            if tokens & reached:
+                kept.append(p)
+                reached |= tokens
+                changed = True
+            else:
+                remaining.append((p, tokens))
+        pending = remaining
+    # Preserve original conjunct order for formula canonicity / caching.
+    kept_set = set(kept)
+    return fand(*(p for p in parts if p in kept_set))

@@ -1,0 +1,211 @@
+"""Tests for the Karr affine-equality domain and its invariant engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import SpEngine
+from repro.analysis.affine import (
+    AffineState,
+    affine_loop_invariant,
+    equalities_from_formula,
+    transfer,
+)
+from repro.analysis.invariants import loop_invariant
+from repro.consolidation import ConsolidationOptions, Consolidator, check_soundness
+from repro.lang import (
+    FunctionTable,
+    LibraryFunction,
+    add,
+    arg,
+    assign,
+    block,
+    call,
+    ge,
+    gt,
+    if_,
+    ite_notify,
+    le,
+    lift,
+    lt,
+    mul,
+    program,
+    sub,
+    var,
+    while_,
+)
+from repro.smt import Num, Solver, TRUE_F, eq_f, fand
+from repro.smt.interface import var_sym
+from repro.smt.terms import t_sub
+
+FT = FunctionTable([LibraryFunction("f", lambda x: (x * x) % 9, cost=25)])
+
+V = ("v!x", "v!y", "v!z")
+
+
+def row(c0, *coeffs):
+    return [Fraction(c0), *map(Fraction, coeffs)]
+
+
+class TestAffineState:
+    def test_top_entails_nothing(self):
+        top = AffineState.top(V)
+        assert not top.entails_row(row(0, 1, 0, 0))  # x = 0 not implied
+
+    def test_add_and_entail(self):
+        s = AffineState.top(V).add_equality(row(-3, 1, 0, 0))  # x = 3
+        assert s.entails_row(row(-3, 1, 0, 0))
+        assert not s.entails_row(row(-4, 1, 0, 0))
+
+    def test_inconsistent_is_bottom(self):
+        s = AffineState.top(V).add_equality(row(-3, 1, 0, 0)).add_equality(row(-4, 1, 0, 0))
+        assert s.is_bottom
+
+    def test_derived_equality(self):
+        # x = 3 and y = x + 1 entail y = 4.
+        s = (
+            AffineState.top(V)
+            .add_equality(row(-3, 1, 0, 0))
+            .add_equality(row(1, 1, -1, 0))  # x - y + 1 = 0
+        )
+        assert s.entails_row(row(-4, 0, 1, 0))
+
+    def test_havoc_forgets(self):
+        s = AffineState.top(V).add_equality(row(-3, 1, 0, 0)).add_equality(row(0, 1, -1, 0))
+        h = s.havoc("v!x")
+        assert not h.entails_row(row(-3, 1, 0, 0))
+        # But the consequence y = 3 (derived through x) must survive.
+        assert h.entails_row(row(-3, 0, 1, 0))
+
+    def test_invertible_assign(self):
+        # x = 3 ; x := x + 1 ==> x = 4
+        s = AffineState.top(V).add_equality(row(-3, 1, 0, 0))
+        s2 = s.assign_linear("v!x", 1, {"v!x": 1})
+        assert s2.entails_row(row(-4, 1, 0, 0))
+
+    def test_fresh_assign(self):
+        # y := x + 2 under x = 1 gives y = 3
+        s = AffineState.top(V).add_equality(row(-1, 1, 0, 0))
+        s2 = s.assign_linear("v!y", 2, {"v!x": 1})
+        assert s2.entails_row(row(-3, 0, 1, 0))
+
+    def test_join_keeps_common(self):
+        a = AffineState.top(V).add_equality(row(-1, 1, 0, 0)).add_equality(row(-2, 0, 1, 0))
+        b = AffineState.top(V).add_equality(row(-5, 1, 0, 0)).add_equality(row(-6, 0, 1, 0))
+        j = a.join(b)
+        # x differs between the branches, but y = x + 1 holds in both.
+        assert not j.entails_row(row(-1, 1, 0, 0))
+        assert j.entails_row(row(1, 1, -1, 0))
+
+    def test_join_with_bottom(self):
+        a = AffineState.top(V).add_equality(row(-1, 1, 0, 0))
+        assert a.join(AffineState.bottom(V)).entails_row(row(-1, 1, 0, 0))
+
+
+class TestTransfer:
+    def test_branch_join(self):
+        # if ...: x := 1; y := 2 else: x := 5; y := 6  ==> y = x + 1
+        s = AffineState.top(("v!x", "v!y"))
+        stmt = if_(
+            lt(arg("n"), 0),
+            block(assign("x", 1), assign("y", 2)),
+            block(assign("x", 5), assign("y", 6)),
+        )
+        out = transfer(s, stmt)
+        assert out.entails_row([Fraction(1), Fraction(1), Fraction(-1)])
+
+    def test_call_havocs(self):
+        s = AffineState.top(("v!x",)).add_equality([Fraction(-1), Fraction(1)])
+        out = transfer(s, assign("x", call("f", var("x"))))
+        assert not out.entails_row([Fraction(-1), Fraction(1)])
+
+    def test_nonlinear_havocs(self):
+        s = AffineState.top(("v!x", "v!y")).add_equality([Fraction(-1), Fraction(1), Fraction(0)])
+        out = transfer(s, assign("x", mul(var("x"), var("y"))))
+        assert not out.entails_row([Fraction(-1), Fraction(1), Fraction(0)])
+
+
+class TestLoopInvariants:
+    def entry(self, engine, assigns):
+        psi = TRUE_F
+        for name, e in assigns:
+            psi = engine.assign(psi, name, lift(e) if isinstance(e, int) else e)
+        return psi
+
+    def test_counter_offset(self):
+        engine = SpEngine(FT)
+        psi = self.entry(engine, [("i", arg("a")), ("j", sub(arg("a"), 1))])
+        body = block(assign("i", sub(var("i"), 1)), assign("j", sub(var("j"), 1)))
+        inv = affine_loop_invariant(engine, psi, body)
+        solver = Solver()
+        assert solver.entails(inv, eq_f(t_sub(var_sym("i"), var_sym("j")), Num(1)))
+
+    def test_parallel_counters(self):
+        engine = SpEngine(FT)
+        psi = self.entry(engine, [("m1", 1), ("m2", 1)])
+        body = block(assign("m1", add(var("m1"), 1)), assign("m2", add(var("m2"), 1)))
+        inv = affine_loop_invariant(engine, psi, body)
+        solver = Solver()
+        assert solver.entails(inv, eq_f(t_sub(var_sym("m1"), var_sym("m2")), Num(0)))
+
+    def test_scaled_relation(self):
+        """y climbs by 2 when x climbs by 1: Karr finds y = 2x (probe misses it)."""
+
+        engine = SpEngine(FT)
+        psi = self.entry(engine, [("x", 0), ("y", 0)])
+        body = block(assign("x", add(var("x"), 1)), assign("y", add(var("y"), 2)))
+        inv = affine_loop_invariant(engine, psi, body)
+        solver = Solver()
+        from repro.smt.terms import t_scale
+
+        goal = eq_f(t_sub(var_sym("y"), t_scale(2, var_sym("x"))), Num(0))
+        assert solver.entails(inv, goal)
+
+    def test_no_false_equalities(self):
+        engine = SpEngine(FT)
+        psi = self.entry(engine, [("x", 0), ("y", 0)])
+        body = block(assign("x", add(var("x"), 1)), assign("y", call("f", var("y"))))
+        inv = affine_loop_invariant(engine, psi, body)
+        solver = Solver()
+        for c in range(-2, 3):
+            assert not solver.entails(inv, eq_f(t_sub(var_sym("x"), var_sym("y")), Num(c)))
+
+    def test_mode_plumbs_through_loop_invariant(self):
+        engine = SpEngine(FT)
+        solver = Solver()
+        psi = self.entry(engine, [("i", 0), ("j", 0)])
+        body = block(assign("i", add(var("i"), 1)), assign("j", add(var("j"), 1)))
+        conds = [lt(var("i"), 9), lt(var("j"), 9)]
+        for mode in ("probe", "karr", "both"):
+            inv = loop_invariant(engine, solver, psi, conds, body, mode=mode)
+            assert solver.entails(inv, eq_f(t_sub(var_sym("i"), var_sym("j")), Num(0)))
+        with pytest.raises(ValueError):
+            loop_invariant(engine, solver, psi, conds, body, mode="psychic")
+
+
+class TestConsolidationWithKarr:
+    def test_loop_fusion_under_karr_engine(self):
+        options = ConsolidationOptions(invariant_engine="karr")
+
+        def prog(pid, thr):
+            return program(
+                pid,
+                ("row",),
+                assign("s", 0),
+                assign("m", 1),
+                while_(
+                    le(var("m"), 10),
+                    block(
+                        assign("s", add(var("s"), call("f", var("m")))),
+                        assign("m", add(var("m"), 1)),
+                    ),
+                ),
+                ite_notify(pid, gt(var("s"), thr)),
+            )
+
+        p1, p2 = prog("a", 5), prog("b", 9)
+        c = Consolidator(FT, options=options)
+        merged = c.consolidate(p1, p2)
+        assert "Loop2" in c.trace
+        report = check_soundness([p1, p2], merged, FT, [{"row": 0}])
+        assert report.ok, report.violations

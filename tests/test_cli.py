@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_args_option, build_parser, main
+
+
+@pytest.fixture
+def progs(tmp_path):
+    a = tmp_path / "a.prog"
+    a.write_text(
+        "program hot(row) {\n"
+        "  t := monthly_avg_temp(@row, 7);\n"
+        "  if (t > 50) { notify hot true; } else { notify hot false; }\n"
+        "}\n"
+    )
+    b = tmp_path / "b.prog"
+    b.write_text(
+        "program cold(row) {\n"
+        "  u := monthly_avg_temp(@row, 7);\n"
+        "  if (u < 0) { notify cold true; } else { notify cold false; }\n"
+        "}\n"
+    )
+    return str(a), str(b)
+
+
+class TestConsolidateCommand:
+    def test_merges_and_prints(self, progs, capsys):
+        rc = main(["consolidate", *progs, "--domain", "weather"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "notify hot" in out and "notify cold" in out
+        assert out.count("monthly_avg_temp") == 1  # call shared
+
+    def test_verification_flag(self, progs, capsys):
+        rc = main(["consolidate", *progs, "--domain", "weather", "--verify", "20"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "verification on 20 rows: OK" in err
+
+    def test_if_rule_mode_flag(self, progs, capsys):
+        rc = main(["consolidate", *progs, "--domain", "weather", "--if-rule-mode", "always_if5"])
+        assert rc == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["consolidate", str(tmp_path / "nope.prog")])
+
+    def test_parse_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.prog"
+        bad.write_text("program { oops")
+        with pytest.raises(SystemExit):
+            main(["consolidate", str(bad)])
+
+    def test_unknown_domain(self, progs):
+        with pytest.raises(SystemExit):
+            main(["consolidate", *progs, "--domain", "mars"])
+
+
+class TestRunCommand:
+    def test_runs_and_prints_notification(self, progs, capsys):
+        rc = main(["run", progs[0], "--domain", "weather", "--args", "row=3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("hot: ")
+        assert "latency" in out
+
+    def test_bad_args_syntax(self, progs):
+        with pytest.raises(SystemExit):
+            main(["run", progs[0], "--domain", "weather", "--args", "rowX3"])
+
+
+class TestOptionParsing:
+    def test_parse_args_option(self):
+        assert _parse_args_option("a=1,b=hello") == {"a": 1, "b": "hello"}
+        assert _parse_args_option("") == {}
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExperimentCommands:
+    def test_latency_command(self, capsys):
+        rc = main(["latency", "--n-udfs", "4", "--priority-index", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sequential_mean" in out
+
+    def test_figure10_command(self, capsys):
+        rc = main(["figure10", "--sweep", "2,4", "--articles", "40"])
+        assert rc == 0
+        assert "whereMany_total" in capsys.readouterr().out

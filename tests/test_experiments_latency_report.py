@@ -1,0 +1,100 @@
+"""Additional coverage for experiment reporting structures."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Figure9Report,
+    Figure10Report,
+    LatencyReport,
+    ScalabilityPoint,
+    format_table,
+)
+
+
+def result(domain="news", family="Q1", many_udf=1000, cons_udf=250, cons_s=0.1):
+    return ExperimentResult(
+        domain=domain,
+        family=family,
+        n_udfs=10,
+        rows=100,
+        many_udf_cost=many_udf,
+        cons_udf_cost=cons_udf,
+        many_total_cost=many_udf + 500,
+        cons_total_cost=cons_udf + 500,
+        many_wall=1.0,
+        cons_wall=0.3,
+        consolidation_seconds=cons_s,
+    )
+
+
+class TestExperimentResult:
+    def test_speedups(self):
+        r = result()
+        assert r.udf_speedup == 4.0
+        assert r.total_speedup == 2.0
+        assert r.udf_speedup_wall == pytest.approx(1.0 / 0.3)
+
+    def test_total_wall_includes_consolidation(self):
+        r = result(cons_s=0.7)
+        assert r.total_speedup_wall == pytest.approx(1.0 / (0.3 + 0.7))
+
+    def test_consolidation_fraction(self):
+        r = result(cons_s=0.3)
+        assert r.consolidation_fraction == pytest.approx(0.5)
+
+    def test_row_dict(self):
+        row = result().row()
+        assert row["udf_speedup"] == 4.0
+        assert row["domain"] == "news"
+
+
+class TestFigure9Report:
+    def test_aggregates(self):
+        report = Figure9Report(results=[result(cons_udf=250), result(cons_udf=500)])
+        agg = report.aggregates()
+        assert agg["udf_min"] == 2.0
+        assert agg["udf_max"] == 4.0
+        assert agg["udf_avg"] == 3.0
+
+
+class TestFigure10Report:
+    def test_growth_ratios(self):
+        points = [
+            ScalabilityPoint(10, 100, 150, 50, 90, 0.1, 0.05, 0.01),
+            ScalabilityPoint(100, 1000, 1050, 120, 160, 1.0, 0.1, 0.2),
+        ]
+        report = Figure10Report(points=points)
+        growth = report.growth_ratios()
+        assert growth["n_ratio"] == 10
+        assert growth["many_udf_growth"] == 10.0
+        assert growth["cons_udf_growth"] == pytest.approx(2.4)
+
+
+class TestLatencyReport:
+    def test_mean_and_summary(self):
+        report = LatencyReport(
+            n_udfs=2,
+            rows=5,
+            sequential={"a": 10.0, "b": 30.0},
+            consolidated={"a": 5.0, "b": 7.0},
+            prioritized={"a": 4.0, "b": 8.0},
+            priority=("a",),
+        )
+        assert report.mean(report.sequential) == 20.0
+        summary = report.summary()
+        assert summary["a_prioritized"] == 4.0
+        assert summary["consolidated_mean"] == 6.0
+
+    def test_empty_mean(self):
+        assert LatencyReport(0, 0).mean({}) == 0.0
+
+
+class TestFormatTable:
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,199 @@
+"""Tests for the Python-AST frontend."""
+
+import pytest
+
+from repro.frontend import TranslationError, translate_source, translate_udf
+from repro.lang import (
+    FunctionTable,
+    LibraryFunction,
+    STR,
+    program_to_str,
+    run_program,
+)
+
+
+FT = FunctionTable(
+    [
+        LibraryFunction("price", lambda r: (r * 37) % 400, cost=20),
+        LibraryFunction("stops", lambda r: r % 4, cost=20),
+        LibraryFunction("name", lambda r: ["ua", "wn", "dl"][r % 3], cost=20, result_sort=STR),
+        LibraryFunction("get_temp", lambda r, m: (r * 3 + m * 7) % 25 - 5, cost=30),
+    ]
+)
+
+
+def run(src, args, pid="q", consts=None):
+    p = translate_source(src, pid, consts, FT)
+    return p, run_program(p, args, FT)
+
+
+class TestBasics:
+    def test_simple_filter(self):
+        p, r = run("def udf(row):\n    return price(row) < 100", {"row": 3})
+        assert r.notifications == {"q": ((3 * 37) % 400) < 100}
+
+    def test_attribute_sugar(self):
+        p, r = run("def udf(row):\n    return row.price < 100", {"row": 3})
+        assert "price(@row)" in program_to_str(p)
+
+    def test_method_sugar(self):
+        p, r = run("def udf(row):\n    return row.get_temp(3) > 0", {"row": 5})
+        assert "get_temp(@row, 3)" in program_to_str(p)
+
+    def test_parameters_become_constants(self):
+        src = "def udf(row, bound):\n    return price(row) < bound"
+        p = translate_source(src, "q", {"bound": 150}, FT)
+        assert "150" in program_to_str(p)
+
+    def test_default_values_used(self):
+        src = "def udf(row, bound=200):\n    return price(row) < bound"
+        p = translate_source(src, "q", None, FT)
+        assert "200" in program_to_str(p)
+
+    def test_explicit_const_overrides_default(self):
+        src = "def udf(row, bound=200):\n    return price(row) < bound"
+        p = translate_source(src, "q", {"bound": 10}, FT)
+        text = program_to_str(p)
+        assert "10" in text and "200" not in text
+
+    def test_missing_parameter_binding_rejected(self):
+        src = "def udf(row, bound):\n    return price(row) < bound"
+        with pytest.raises(TranslationError):
+            translate_source(src, "q", None, FT)
+
+    def test_string_comparison(self):
+        p, r = run('def udf(row):\n    return name(row) == "ua"', {"row": 0})
+        assert r.notifications == {"q": True}
+
+
+class TestControlFlow:
+    def test_early_return(self):
+        src = (
+            "def udf(row):\n"
+            "    if price(row) >= 200:\n"
+            "        return False\n"
+            "    return stops(row) == 0\n"
+        )
+        for row in range(10):
+            p, r = run(src, {"row": row})
+            expected = (row * 37) % 400 < 200 and row % 4 == 0
+            assert r.notifications == {"q": expected}
+
+    def test_if_elif_else(self):
+        src = (
+            "def udf(row):\n"
+            "    p = price(row)\n"
+            "    if p < 50:\n"
+            "        return True\n"
+            "    elif p < 100:\n"
+            "        return stops(row) < 2\n"
+            "    else:\n"
+            "        return False\n"
+        )
+        for row in range(12):
+            p, r = run(src, {"row": row})
+            price = (row * 37) % 400
+            expected = price < 50 or (price < 100 and row % 4 < 2)
+            assert r.notifications == {"q": expected}
+
+    def test_while_loop(self):
+        src = (
+            "def udf(row):\n"
+            "    m = 1\n"
+            "    total = 0\n"
+            "    while m <= 12:\n"
+            "        total = total + get_temp(row, m)\n"
+            "        m += 1\n"
+            "    return total > 0\n"
+        )
+        p, r = run(src, {"row": 4})
+        expected = sum((4 * 3 + m * 7) % 25 - 5 for m in range(1, 13)) > 0
+        assert r.notifications == {"q": expected}
+
+    def test_comparison_chain(self):
+        src = "def udf(row):\n    return 0 <= stops(row) < 2"
+        for row in range(8):
+            p, r = run(src, {"row": row})
+            assert r.notifications == {"q": 0 <= row % 4 < 2}
+
+    def test_boolean_operators(self):
+        src = "def udf(row):\n    return not (price(row) > 300 or stops(row) == 3)"
+        for row in range(8):
+            p, r = run(src, {"row": row})
+            expected = not ((row * 37) % 400 > 300 or row % 4 == 3)
+            assert r.notifications == {"q": expected}
+
+    def test_augmented_assignment(self):
+        src = (
+            "def udf(row):\n"
+            "    x = stops(row)\n"
+            "    x *= 3\n"
+            "    x -= 1\n"
+            "    return x > 4\n"
+        )
+        for row in range(8):
+            p, r = run(src, {"row": row})
+            assert r.notifications == {"q": (row % 4) * 3 - 1 > 4}
+
+
+class TestRejections:
+    def reject(self, src, consts=None):
+        with pytest.raises(TranslationError):
+            translate_source(src, "q", consts, FT)
+
+    def test_unknown_function(self):
+        self.reject("def udf(row):\n    return mystery(row) > 1")
+
+    def test_for_loop(self):
+        self.reject("def udf(row):\n    for i in range(3):\n        pass\n    return True")
+
+    def test_return_inside_loop(self):
+        self.reject(
+            "def udf(row):\n"
+            "    while True:\n"
+            "        return False\n"
+        )
+
+    def test_missing_return_path(self):
+        self.reject("def udf(row):\n    x = 1")
+
+    def test_unreachable_code(self):
+        self.reject("def udf(row):\n    return True\n    x = 1")
+
+    def test_division_unsupported(self):
+        self.reject("def udf(row):\n    return price(row) / 2 > 10")
+
+    def test_assign_to_parameter(self):
+        self.reject("def udf(row, k=1):\n    k = 2\n    return True")
+
+    def test_unbound_name(self):
+        self.reject("def udf(row):\n    return zzz > 1")
+
+    def test_float_literal(self):
+        self.reject("def udf(row):\n    return price(row) > 1.5")
+
+    def test_two_functions(self):
+        with pytest.raises(TranslationError):
+            translate_source("def a(r):\n    return True\ndef b(r):\n    return True", "q")
+
+    def test_lambda_has_no_source(self):
+        with pytest.raises(TranslationError):
+            translate_udf(eval("lambda r: True"), "q")
+
+
+class TestConsolidationIntegration:
+    def test_translated_udfs_consolidate(self):
+        src1 = "def udf(row, bound=100):\n    return price(row) < bound"
+        src2 = (
+            "def udf(row, bound=250):\n"
+            "    if price(row) >= bound:\n"
+            "        return False\n"
+            "    return stops(row) == 0\n"
+        )
+        from repro.consolidation import Consolidator, check_soundness
+
+        p1 = translate_source(src1, "q1", None, FT)
+        p2 = translate_source(src2, "q2", None, FT)
+        merged = Consolidator(FT).consolidate(p1, p2)
+        report = check_soundness([p1, p2], merged, FT, [{"row": i} for i in range(40)])
+        assert report.ok, report.violations

@@ -1,0 +1,100 @@
+"""Tests for AST construction and sequence normal form."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    BinOp,
+    BoolOp,
+    Cmp,
+    IntConst,
+    SKIP,
+    Seq,
+    Skip,
+    Var,
+    seq,
+    seq_head,
+    seq_tail,
+    statements,
+)
+
+
+def a(n):
+    return Assign(f"x{n}", IntConst(n))
+
+
+class TestSeqNormalForm:
+    def test_empty_seq_is_skip(self):
+        assert seq() is SKIP
+
+    def test_singleton_collapses(self):
+        assert seq(a(1)) == a(1)
+
+    def test_skip_dropped(self):
+        assert seq(SKIP, a(1), SKIP) == a(1)
+
+    def test_nested_seq_spliced(self):
+        s = seq(a(1), seq(a(2), a(3)), a(4))
+        assert isinstance(s, Seq)
+        assert list(statements(s)) == [a(1), a(2), a(3), a(4)]
+
+    def test_all_skips_give_skip(self):
+        assert seq(SKIP, SKIP) is SKIP
+
+    def test_direct_seq_constructor_rejects_nesting(self):
+        with pytest.raises(ValueError):
+            Seq((Seq((a(1), a(2))), a(3)))
+
+
+class TestHeadTail:
+    def test_head_of_sequence(self):
+        s = seq(a(1), a(2), a(3))
+        assert seq_head(s) == a(1)
+
+    def test_tail_of_sequence(self):
+        s = seq(a(1), a(2), a(3))
+        assert list(statements(seq_tail(s))) == [a(2), a(3)]
+
+    def test_head_of_single_statement(self):
+        assert seq_head(a(1)) == a(1)
+
+    def test_tail_of_single_statement_is_skip(self):
+        assert seq_tail(a(1)) is SKIP
+
+    def test_tail_of_pair_is_statement(self):
+        s = seq(a(1), a(2))
+        assert seq_tail(s) == a(2)
+
+    def test_statements_of_skip_is_empty(self):
+        assert list(statements(SKIP)) == []
+
+
+class TestOperatorValidation:
+    def test_binop_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            BinOp("/", IntConst(1), IntConst(2))
+
+    def test_cmp_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            Cmp(">", IntConst(1), IntConst(2))
+
+    def test_boolop_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            BoolOp("xor", IntConst(1), IntConst(2))
+
+
+class TestStructuralEquality:
+    def test_equal_expressions_hash_equal(self):
+        e1 = BinOp("+", Var("x"), IntConst(1))
+        e2 = BinOp("+", Var("x"), IntConst(1))
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+
+    def test_distinct_ops_differ(self):
+        e1 = BinOp("+", Var("x"), IntConst(1))
+        e2 = BinOp("-", Var("x"), IntConst(1))
+        assert e1 != e2
+
+    def test_usable_as_dict_key(self):
+        table = {BinOp("+", Var("x"), IntConst(1)): "cached"}
+        assert table[BinOp("+", Var("x"), IntConst(1))] == "cached"

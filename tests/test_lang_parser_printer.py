@@ -1,0 +1,152 @@
+"""Parser/printer tests, including the round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (
+    Arg,
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Call,
+    Cmp,
+    IntConst,
+    Not,
+    ParseError,
+    StrConst,
+    Var,
+    expr_to_str,
+    parse_expr,
+    parse_program,
+    parse_stmt,
+    program_to_str,
+    stmt_to_str,
+)
+
+
+class TestExprParsing:
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("1 + 2 * 3") == BinOp("+", IntConst(1), BinOp("*", IntConst(2), IntConst(3)))
+
+    def test_parens_override(self):
+        assert parse_expr("(1 + 2) * 3") == BinOp("*", BinOp("+", IntConst(1), IntConst(2)), IntConst(3))
+
+    def test_left_associativity(self):
+        assert parse_expr("1 - 2 - 3") == BinOp("-", BinOp("-", IntConst(1), IntConst(2)), IntConst(3))
+
+    def test_and_binds_tighter_than_or(self):
+        e = parse_expr("true or false and true")
+        assert isinstance(e, BoolOp) and e.op == "or"
+
+    def test_gt_normalised(self):
+        assert parse_expr("x > 3") == Cmp("<", IntConst(3), Var("x"))
+
+    def test_ge_normalised(self):
+        assert parse_expr("x >= 3") == Cmp("<=", IntConst(3), Var("x"))
+
+    def test_ne_normalised(self):
+        assert parse_expr("x != 3") == Not(Cmp("=", Var("x"), IntConst(3)))
+
+    def test_args_and_vars(self):
+        assert parse_expr("@row") == Arg("row")
+        assert parse_expr("q1.x") == Var("q1.x")
+
+    def test_call_with_args(self):
+        assert parse_expr("f(@a, 1 + x)") == Call("f", (Arg("a"), BinOp("+", IntConst(1), Var("x"))))
+
+    def test_nullary_call(self):
+        assert parse_expr("now()") == Call("now", ())
+
+    def test_string_literal(self):
+        assert parse_expr('"united"') == StrConst("united")
+
+    def test_string_escapes(self):
+        assert parse_expr('"a\\"b"') == StrConst('a"b')
+
+    def test_c_style_connectives(self):
+        assert parse_expr("true && false") == BoolOp("and", BoolConst(True), BoolConst(False))
+        assert parse_expr("true || false") == BoolOp("or", BoolConst(True), BoolConst(False))
+
+    def test_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")
+
+    def test_error_on_trailing(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 2")
+
+
+class TestStmtParsing:
+    def test_program_roundtrip(self):
+        src = """
+        program q(fi, wi) {
+          x := f(@fi) + 1;
+          if (x < 10) { notify q true; } else {
+            while (x > 0) { x := x - 1; }
+            notify q false;
+          }
+        }
+        """
+        p = parse_program(src)
+        assert parse_program(program_to_str(p)) == p
+
+    def test_comments_ignored(self):
+        s = parse_stmt("x := 1; # a comment\ny := 2;")
+        assert stmt_to_str(s) == "x := 1;\ny := 2;"
+
+    def test_skip(self):
+        assert stmt_to_str(parse_stmt("skip;")) == "skip;"
+
+    def test_keyword_not_identifier(self):
+        with pytest.raises(ParseError):
+            parse_stmt("while := 1;")
+
+
+# -- property: printer output re-parses to the same tree ---------------------
+
+_names = st.sampled_from(["x", "y", "q1.t", "acc"])
+_arg_names = st.sampled_from(["row", "fi"])
+
+
+def _int_exprs(depth):
+    base = st.one_of(
+        st.integers(min_value=0, max_value=99).map(IntConst),
+        _names.map(Var),
+        _arg_names.map(Arg),
+    )
+    if depth <= 0:
+        return base
+    sub = _int_exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from("+-*"), sub, sub).map(lambda t: BinOp(*t)),
+        st.tuples(sub, sub).map(lambda t: Call("f", t)),
+    )
+
+
+def _bool_exprs(depth):
+    ints = _int_exprs(2)
+    base = st.one_of(
+        st.booleans().map(BoolConst),
+        st.tuples(st.sampled_from(["<", "<=", "="]), ints, ints).map(lambda t: Cmp(*t)),
+    )
+    if depth <= 0:
+        return base
+    sub = _bool_exprs(depth - 1)
+    return st.one_of(
+        base,
+        sub.map(Not),
+        st.tuples(st.sampled_from(["and", "or"]), sub, sub).map(lambda t: BoolOp(*t)),
+    )
+
+
+@given(_int_exprs(3))
+@settings(max_examples=150)
+def test_int_expr_roundtrip(e):
+    assert parse_expr(expr_to_str(e)) == e
+
+
+@given(_bool_exprs(3))
+@settings(max_examples=150)
+def test_bool_expr_roundtrip(e):
+    assert parse_expr(expr_to_str(e)) == e

@@ -1,0 +1,117 @@
+"""Tests for notification-latency tracking and priority-ordered consolidation
+(the Section 8 extension; see EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.consolidation import check_soundness, consolidate_all
+from repro.datasets import generate_stocks
+from repro.experiments import run_latency_experiment
+from repro.lang import (
+    FunctionTable,
+    Interpreter,
+    LibraryFunction,
+    arg,
+    assign,
+    call,
+    ite_notify,
+    lt,
+    notify,
+    program,
+    run_sequentially,
+    var,
+)
+from repro.queries import DOMAIN_QUERIES
+
+FT = FunctionTable([LibraryFunction("val", lambda r: (r * 13) % 50, cost=15)])
+
+
+def filt(pid, bound):
+    return program(
+        pid,
+        ("row",),
+        assign("x", call("val", arg("row"))),
+        ite_notify(pid, lt(var("x"), bound)),
+    )
+
+
+class TestLatencyTracking:
+    def test_single_notify_latency_equals_cost(self):
+        p = program("q", ("row",), notify("q", True))
+        r = Interpreter(FT).run(p, {"row": 1})
+        assert r.notification_costs["q"] == r.cost
+
+    def test_latency_monotone_in_program_position(self):
+        p = program(
+            "ab",
+            ("row",),
+            assign("x", call("val", arg("row"))),
+            notify("a", lt(var("x"), 10)),
+            assign("y", call("val", arg("row"))),
+            notify("b", lt(var("y"), 20)),
+        )
+        r = Interpreter(FT).run(p, {"row": 1})
+        assert r.notification_costs["a"] < r.notification_costs["b"]
+        assert r.notification_costs["b"] == r.cost
+
+    def test_latency_never_exceeds_total_cost(self):
+        p = filt("q", 25)
+        for row in range(10):
+            r = Interpreter(FT).run(p, {"row": row})
+            assert 0 < r.notification_costs["q"] <= r.cost
+
+    def test_sequential_latencies_accumulate(self):
+        programs = [filt(f"q{i}", 10 * i + 5) for i in range(4)]
+        r = run_sequentially(programs, {"row": 3}, FT)
+        latencies = [r.notification_costs[f"q{i}"] for i in range(4)]
+        assert latencies == sorted(latencies)
+        # Each later query waits for all earlier programs.
+        single = Interpreter(FT).run(programs[0], {"row": 3}).cost
+        assert latencies[1] > single
+
+    def test_latency_accumulates_through_loops(self):
+        from repro.lang import add, block, while_, le
+
+        p = program(
+            "q",
+            ("row",),
+            assign("i", 0),
+            while_(le(var("i"), 3), assign("i", add(var("i"), 1))),
+            notify("q", True),
+        )
+        r = Interpreter(FT).run(p, {"row": 0})
+        assert r.notification_costs["q"] == r.cost
+
+
+class TestPriorityOrder:
+    def test_priority_program_broadcasts_first(self):
+        programs = [filt(f"q{i}", 10 * i + 5) for i in range(6)]
+        report = consolidate_all(programs, FT, order="priority", priority=["q4"])
+        r = Interpreter(FT).run(report.program, {"row": 2})
+        others = [v for k, v in r.notification_costs.items() if k != "q4"]
+        assert r.notification_costs["q4"] <= min(others)
+
+    def test_priority_order_still_sound(self):
+        programs = [filt(f"q{i}", 10 * i + 5) for i in range(5)]
+        report = consolidate_all(programs, FT, order="priority", priority=["q3", "q1"])
+        sound = check_soundness(programs, report.program, FT, [{"row": r} for r in range(20)])
+        assert sound.ok, sound.violations
+
+    def test_priority_beats_default_for_chosen_query(self):
+        ds = generate_stocks(companies=20, total_daily_rows=2500)
+        programs = DOMAIN_QUERIES["stock"].make_batch(ds, "Q1", n=8, seed=3)
+        rep = run_latency_experiment(ds, programs, priority=("q6",), row_limit=15)
+        assert rep.prioritized["q6"] <= rep.consolidated["q6"]
+        assert rep.consolidated["q6"] < rep.sequential["q6"]
+
+    def test_consolidation_reduces_mean_latency(self):
+        ds = generate_stocks(companies=20, total_daily_rows=2500)
+        programs = DOMAIN_QUERIES["stock"].make_batch(ds, "Q1", n=8, seed=3)
+        rep = run_latency_experiment(ds, programs, priority=("q0",), row_limit=15)
+        assert rep.mean(rep.consolidated) < rep.mean(rep.sequential)
+
+    def test_summary_has_priority_rows(self):
+        ds = generate_stocks(companies=20, total_daily_rows=2500)
+        programs = DOMAIN_QUERIES["stock"].make_batch(ds, "Q1", n=4, seed=3)
+        rep = run_latency_experiment(ds, programs, priority=("q1",), row_limit=5)
+        summary = rep.summary()
+        assert "q1_prioritized" in summary and "sequential_mean" in summary

@@ -1,0 +1,304 @@
+"""End-to-end reproduction of the paper's worked examples (Sections 2 & 4).
+
+Each test consolidates the literal programs from the paper and checks both
+the soundness contract (identical notifications, cost never higher) and
+the specific optimisations the paper highlights.
+"""
+
+import pytest
+
+from repro.consolidation import Consolidator, check_soundness
+from repro.lang import (
+    FunctionTable,
+    LibraryFunction,
+    STR,
+    add,
+    arg,
+    assign,
+    block,
+    call,
+    eq,
+    ge,
+    gt,
+    if_,
+    ite_notify,
+    le,
+    lt,
+    notify,
+    program,
+    program_to_str,
+    run_sequentially,
+    run_program,
+    sub,
+    var,
+    while_,
+)
+from repro.lang.visitors import stmt_calls
+
+
+@pytest.fixture
+def flight_functions():
+    airlines = ["United", "Southwest", "Delta", "JetBlue"]
+    return FunctionTable(
+        [
+            LibraryFunction(
+                "airlineName", lambda fi: airlines[fi % 4], cost=20, result_sort=STR
+            ),
+            LibraryFunction(
+                "toLower", lambda s: s.lower(), cost=15, result_sort=STR, arg_sorts=(STR,)
+            ),
+            LibraryFunction("price", lambda fi: (fi * 37) % 400, cost=20),
+        ]
+    )
+
+
+def example1_f1():
+    """f1: flights operated by United or Southwest."""
+
+    return program(
+        "f1",
+        ("fi",),
+        assign("name", call("toLower", call("airlineName", arg("fi")))),
+        if_(
+            eq(var("name"), "united"),
+            notify("f1", True),
+            ite_notify("f1", eq(var("name"), "southwest")),
+        ),
+    )
+
+
+def example1_f2():
+    """f2: cheaper than $200 and operated by United."""
+
+    return program(
+        "f2",
+        ("fi",),
+        if_(
+            ge(call("price", arg("fi")), 200),
+            notify("f2", False),
+            ite_notify("f2", eq(call("toLower", call("airlineName", arg("fi"))), "united")),
+        ),
+    )
+
+
+class TestExample1:
+    def test_sound_on_all_inputs(self, flight_functions):
+        f1, f2 = example1_f1(), example1_f2()
+        merged = Consolidator(flight_functions).consolidate(f1, f2)
+        report = check_soundness(
+            [f1, f2], merged, flight_functions, [{"fi": i} for i in range(200)]
+        )
+        assert report.ok, report.violations
+
+    def test_name_computed_once(self, flight_functions):
+        """The toLower/airlineName chain appears exactly once in the merge."""
+
+        merged = Consolidator(flight_functions).consolidate(example1_f1(), example1_f2())
+        text = program_to_str(merged)
+        assert text.count("toLower") == 1
+        assert text.count("airlineName") == 1
+
+    def test_united_test_not_duplicated(self, flight_functions):
+        """f2's united test is eliminated inside f1's branches."""
+
+        merged = Consolidator(flight_functions).consolidate(example1_f1(), example1_f2())
+        text = program_to_str(merged)
+        assert text.count('"united"') == 1
+
+    def test_strict_improvement(self, flight_functions):
+        f1, f2 = example1_f1(), example1_f2()
+        merged = Consolidator(flight_functions).consolidate(f1, f2)
+        report = check_soundness(
+            [f1, f2], merged, flight_functions, [{"fi": i} for i in range(200)]
+        )
+        assert report.speedup > 1.3
+
+
+@pytest.fixture
+def weather_functions():
+    return FunctionTable(
+        [LibraryFunction("getTempOfMonth", lambda wi, m: (wi * 3 + m * 7) % 25 - 5, cost=30)]
+    )
+
+
+def example2_g1():
+    """g1: minimum monthly temperature above 15."""
+
+    return program(
+        "g1",
+        ("wi",),
+        assign("min", call("getTempOfMonth", arg("wi"), 1)),
+        assign("i", 2),
+        while_(
+            le(var("i"), 12),
+            block(
+                assign("t", call("getTempOfMonth", arg("wi"), var("i"))),
+                if_(lt(var("t"), var("min")), assign("min", var("t"))),
+                assign("i", add(var("i"), 1)),
+            ),
+        ),
+        ite_notify("g1", gt(var("min"), 15)),
+    )
+
+
+def example2_g2():
+    """g2: maximum monthly temperature below 10."""
+
+    return program(
+        "g2",
+        ("wi",),
+        assign("j", 1),
+        assign("max", call("getTempOfMonth", arg("wi"), var("j"))),
+        while_(
+            lt(var("j"), 12),
+            block(
+                assign("j", add(var("j"), 1)),
+                assign("cur", call("getTempOfMonth", arg("wi"), var("j"))),
+                if_(gt(var("cur"), var("max")), assign("max", var("cur"))),
+            ),
+        ),
+        ite_notify("g2", lt(var("max"), 10)),
+    )
+
+
+class TestExample2:
+    def test_sound_on_all_inputs(self, weather_functions):
+        g1, g2 = example2_g1(), example2_g2()
+        merged = Consolidator(weather_functions).consolidate(g1, g2)
+        report = check_soundness(
+            [g1, g2], merged, weather_functions, [{"wi": i} for i in range(40)]
+        )
+        assert report.ok, report.violations
+
+    def test_loops_fused(self, weather_functions):
+        """Loop 2 fires: a single loop remains in the merged program."""
+
+        c = Consolidator(weather_functions)
+        c.consolidate(example2_g1(), example2_g2())
+        assert "Loop2" in c.trace
+
+    def test_call_shared_in_body(self, weather_functions):
+        """getTempOfMonth is called once per month, not twice."""
+
+        g1, g2 = example2_g1(), example2_g2()
+        merged = Consolidator(weather_functions).consolidate(g1, g2)
+        from repro.lang import Interpreter
+
+        calls = []
+        counting = FunctionTable(
+            [
+                LibraryFunction(
+                    "getTempOfMonth",
+                    lambda wi, m: calls.append(m) or (wi * 3 + m * 7) % 25 - 5,
+                    cost=30,
+                )
+            ]
+        )
+        Interpreter(counting).run(merged, {"wi": 3})
+        # 12 months, one call each (g1 and g2 both scan months 1..12).
+        assert len(calls) == 12
+
+    def test_substantial_speedup(self, weather_functions):
+        g1, g2 = example2_g1(), example2_g2()
+        merged = Consolidator(weather_functions).consolidate(g1, g2)
+        report = check_soundness(
+            [g1, g2], merged, weather_functions, [{"wi": i} for i in range(40)]
+        )
+        assert report.speedup > 1.5
+
+
+class TestExample4:
+    """Figure 4: x := f(a)+1 consolidated with y := f(a)-1."""
+
+    def test_second_call_replaced(self):
+        ft = FunctionTable([LibraryFunction("f", lambda a: a * a, cost=60)])
+        p1 = program("p1", ("a",), assign("x", add(call("f", arg("a")), 1)), notify("p1", True))
+        p2 = program("p2", ("a",), assign("y", sub(call("f", arg("a")), 1)), notify("p2", True))
+        merged = Consolidator(ft).consolidate(p1, p2)
+        text = program_to_str(merged)
+        assert text.count("f(") == 1  # only one call to f survives
+        report = check_soundness([p1, p2], merged, ft, [{"a": i} for i in range(10)])
+        assert report.ok
+
+
+class TestExample5:
+    """Figure 6: opposite guards x > a vs x <= a merge into one test."""
+
+    def test_one_test_two_notifies(self):
+        ft = FunctionTable([])
+        p1 = program("n1", ("x", "a"), ite_notify("n1", gt(arg("x"), arg("a"))))
+        p2 = program("n2", ("x", "a"), ite_notify("n2", le(arg("x"), arg("a"))))
+        merged = Consolidator(ft).consolidate(p1, p2)
+        # Exactly one comparison survives in the merged program.
+        text = program_to_str(merged)
+        assert text.count("<") == 1
+        inputs = [{"x": x, "a": a} for x in range(-3, 4) for a in range(-3, 4)]
+        report = check_soundness([p1, p2], merged, ft, inputs)
+        assert report.ok
+        assert report.speedup > 1.0
+
+
+class TestExample6:
+    """Section 4's loop-offset example: i counts down from a, j from a-1."""
+
+    def _p1(self):
+        return program(
+            "p1",
+            ("alpha",),
+            assign("i", arg("alpha")),
+            assign("x", 0),
+            while_(
+                gt(var("i"), 0),
+                block(
+                    assign("i", sub(var("i"), 1)),
+                    assign("t1", call("f", var("i"))),
+                    assign("x", add(var("x"), var("t1"))),
+                ),
+            ),
+            ite_notify("p1", gt(var("x"), 10)),
+        )
+
+    def _p2(self):
+        return program(
+            "p2",
+            ("alpha",),
+            assign("j", sub(arg("alpha"), 1)),
+            assign("y", arg("alpha")),
+            while_(
+                ge(var("j"), 0),
+                block(
+                    assign("t2", call("f", var("j"))),
+                    assign("y", add(var("y"), var("t2"))),
+                    assign("j", sub(var("j"), 1)),
+                ),
+            ),
+            ite_notify("p2", gt(var("y"), 10)),
+        )
+
+    @pytest.fixture
+    def ft(self):
+        return FunctionTable([LibraryFunction("f", lambda v: (v * v) % 7, cost=40)])
+
+    def test_loop2_applies(self, ft):
+        c = Consolidator(ft)
+        c.consolidate(self._p1(), self._p2())
+        assert "Loop2" in c.trace
+
+    def test_sound_and_faster(self, ft):
+        p1, p2 = self._p1(), self._p2()
+        merged = Consolidator(ft).consolidate(p1, p2)
+        report = check_soundness([p1, p2], merged, ft, [{"alpha": n} for n in range(12)])
+        assert report.ok, report.violations
+        assert report.speedup > 1.3
+
+    def test_f_called_once_per_iteration(self, ft):
+        p1, p2 = self._p1(), self._p2()
+        merged = Consolidator(ft).consolidate(p1, p2)
+        calls = []
+        counting = FunctionTable(
+            [LibraryFunction("f", lambda v: calls.append(v) or (v * v) % 7, cost=40)]
+        )
+        from repro.lang import Interpreter
+
+        Interpreter(counting).run(merged, {"alpha": 6})
+        assert len(calls) == 6  # per iteration, not twice per iteration

@@ -1,0 +1,119 @@
+"""Tests for the Tseitin encoder and its relevancy filtering."""
+
+from repro.smt.cnf import CnfBuilder
+from repro.smt.sat import SatSolver
+from repro.smt import (
+    FALSE_F,
+    TRUE_F,
+    eq_f,
+    fand,
+    fnot,
+    for_,
+    le_f,
+    num,
+    sym,
+)
+
+x, y, z = sym("x"), sym("y"), sym("z")
+A = le_f(x, num(0))
+B = le_f(y, num(0))
+C = eq_f(z, num(3))
+
+
+def solve(formula):
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    builder.assert_formula(formula)
+    return sat, builder, sat.solve()
+
+
+class TestEncoding:
+    def test_atom_assertion(self):
+        _sat, builder, result = solve(A)
+        assert result.is_sat
+        assert result.model[builder.atom_vars[A]] is True
+
+    def test_negated_atom(self):
+        # fnot(le) normalises to another Le atom; eq stays under FNot.
+        _sat, builder, result = solve(fnot(C))
+        assert result.is_sat
+        assert result.model[builder.atom_vars[C]] is False
+
+    def test_and_forces_all(self):
+        _sat, builder, result = solve(fand(A, fnot(C)))
+        assert result.is_sat
+        assert result.model[builder.atom_vars[A]] is True
+        assert result.model[builder.atom_vars[C]] is False
+
+    def test_or_needs_one(self):
+        _sat, builder, result = solve(for_(A, C))
+        assert result.is_sat
+        values = [result.model[builder.atom_vars[f]] for f in (A, C)]
+        assert any(values)
+
+    def test_constants(self):
+        _sat, _b, result = solve(TRUE_F)
+        assert result.is_sat
+        _sat, _b, result = solve(FALSE_F)
+        assert result.is_unsat
+
+    def test_shared_subformula_encoded_once(self):
+        sat = SatSolver()
+        builder = CnfBuilder(sat)
+        inner = fand(A, C)
+        builder.assert_formula(for_(inner, B))
+        before = sat.num_vars
+        builder.literal(inner)  # second request: cached
+        assert sat.num_vars == before
+
+
+class TestSufficientLiterals:
+    def test_or_reports_single_witness(self):
+        _sat, builder, result = solve(for_(A, B, C))
+        lits = builder.sufficient_literals(result.model)
+        # One true disjunct is enough; don't-cares must not leak through.
+        assert len(lits) == 1
+        atom, value = lits[0]
+        assert value is True
+
+    def test_and_reports_all_conjuncts(self):
+        _sat, builder, result = solve(fand(A, B))
+        lits = dict(builder.sufficient_literals(result.model))
+        assert lits == {A: True, B: True}
+
+    def test_nested_structure(self):
+        formula = fand(for_(A, B), fnot(C))
+        _sat, builder, result = solve(formula)
+        lits = dict(builder.sufficient_literals(result.model))
+        assert lits[C] is False
+        assert (A in lits) or (B in lits)
+        # At most one of the disjuncts is reported.
+        assert not (A in lits and B in lits)
+
+    def test_witness_actually_satisfies(self):
+        """The reported literal set logically forces the root formula."""
+
+        formula = for_(fand(A, B), fand(fnot(C), B))
+        _sat, builder, result = solve(formula)
+        lits = dict(builder.sufficient_literals(result.model))
+
+        def eval_with(f, table):
+            from repro.smt import FAnd, FNot, FOr, FTrue, FFalse
+
+            if isinstance(f, FTrue):
+                return True
+            if isinstance(f, FFalse):
+                return False
+            if isinstance(f, FAnd):
+                return all(eval_with(g, table) for g in f.args)
+            if isinstance(f, FOr):
+                return any(eval_with(g, table) for g in f.args)
+            if isinstance(f, FNot):
+                return not eval_with(f.operand, table)
+            return table.get(f, None)
+
+        # Assigning only the witness literals, with every other atom set
+        # adversarially, must still satisfy the root formula.
+        full = {A: False, B: False, C: True}  # adversarial defaults
+        full.update(lits)
+        assert eval_with(formula, full)

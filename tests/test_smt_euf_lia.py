@@ -1,0 +1,161 @@
+"""Tests for congruence closure and the LIA engine."""
+
+from repro.smt.euf import CongruenceClosure
+from repro.smt.lia import LinCon, lia_check, lia_implies_eq
+from repro.smt import app, num, sym, t_add
+
+x, y, z, w = sym("x"), sym("y"), sym("z"), sym("w")
+
+
+class TestCongruenceClosure:
+    def test_reflexive(self):
+        cc = CongruenceClosure()
+        assert cc.are_equal(x, x)
+
+    def test_transitive(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        cc.assert_equal(y, z)
+        assert cc.are_equal(x, z)
+
+    def test_congruence_basic(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert cc.are_equal(app("f", x), app("f", y))
+
+    def test_congruence_nested(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert cc.are_equal(app("f", app("g", x)), app("f", app("g", y)))
+
+    def test_congruence_multi_arg(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        cc.assert_equal(z, w)
+        assert cc.are_equal(app("f", x, z), app("f", y, w))
+
+    def test_different_functions_not_merged(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert not cc.are_equal(app("f", x), app("g", y))
+
+    def test_curried_chain(self):
+        # f(f(f(x))) = x and f(f(x)) = x imply f(x) = x (classic example).
+        cc = CongruenceClosure()
+        fx = app("f", x)
+        ffx = app("f", fx)
+        fffx = app("f", ffx)
+        cc.assert_equal(fffx, x)
+        cc.assert_equal(ffx, x)
+        assert cc.are_equal(fx, x)
+
+    def test_lin_congruence(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert cc.are_equal(t_add(x, num(1)), t_add(y, num(1)))
+
+    def test_lin_distinct_constants_not_merged(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert not cc.are_equal(t_add(x, num(1)), t_add(y, num(2)))
+
+    def test_constant_conflict_detection(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, num(1))
+        cc.assert_equal(x, num(2))
+        assert cc.has_constant_conflict()
+
+    def test_constant_of(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(x, num(5))
+        cc.assert_equal(y, x)
+        assert cc.constant_of(y) == 5
+        assert cc.constant_of(z) is None
+
+    def test_merge_args_after_application_registered(self):
+        cc = CongruenceClosure()
+        fx = app("f", x)
+        fy = app("f", y)
+        cc.add_term(fx)
+        cc.add_term(fy)
+        assert not cc.are_equal(fx, fy)
+        cc.assert_equal(x, y)
+        assert cc.are_equal(fx, fy)
+
+
+def con(coeffs, const):
+    return LinCon.make(coeffs, const)
+
+
+class TestLia:
+    def test_empty_sat(self):
+        assert lia_check([], []) == "sat"
+
+    def test_simple_bounds_sat(self):
+        # 0 <= x <= 10
+        assert lia_check([], [con({"x": -1}, 0), con({"x": 1}, -10)]) == "sat"
+
+    def test_contradictory_bounds(self):
+        # x <= 0 and x >= 1
+        assert lia_check([], [con({"x": 1}, 0), con({"x": -1}, 1)]) == "unsat"
+
+    def test_transitive_chain_unsat(self):
+        # x < y, y < z, z < x  (strict cycles are unsat)
+        les = [
+            con({"x": 1, "y": -1}, 1),
+            con({"y": 1, "z": -1}, 1),
+            con({"z": 1, "x": -1}, 1),
+        ]
+        assert lia_check([], les) == "unsat"
+
+    def test_equality_gcd_unsat(self):
+        # 2x = 1
+        assert lia_check([con({"x": 2}, -1)], []) == "unsat"
+
+    def test_equality_substitution(self):
+        # x = y + 1, x <= 0, y >= 0
+        eqs = [con({"x": 1, "y": -1}, -1)]
+        les = [con({"x": 1}, 0), con({"y": -1}, 0)]
+        assert lia_check(eqs, les) == "unsat"
+
+    def test_integer_tightening(self):
+        # 2x >= 1 and 2x <= 1: rationally sat (x=1/2) but tightening to
+        # x >= 1 and x <= 0 refutes it over the integers.
+        les = [con({"x": -2}, 1), con({"x": 2}, -1)]
+        assert lia_check([], les) == "unsat"
+
+    def test_diseq_forces_split_unsat(self):
+        # 0 <= x <= 1, x != 0, x != 1
+        les = [con({"x": -1}, 0), con({"x": 1}, -1)]
+        dis = [con({"x": 1}, 0), con({"x": 1}, -1)]
+        assert lia_check([], les, dis) == "unsat"
+
+    def test_diseq_sat(self):
+        # 0 <= x <= 2, x != 1 is satisfiable
+        les = [con({"x": -1}, 0), con({"x": 1}, -2)]
+        dis = [con({"x": 1}, -1)]
+        assert lia_check([], les, dis) == "sat"
+
+    def test_constant_diseq(self):
+        assert lia_check([], [], [con({}, 0)]) == "unsat"
+        assert lia_check([], [], [con({}, 5)]) == "sat"
+
+    def test_implied_equality(self):
+        # x <= y and y <= x imply x = y
+        les = [con({"x": 1, "y": -1}, 0), con({"y": 1, "x": -1}, 0)]
+        assert lia_implies_eq([], les, [], "x", "y")
+
+    def test_not_implied_equality(self):
+        les = [con({"x": 1, "y": -1}, 0)]  # x <= y only
+        assert not lia_implies_eq([], les, [], "x", "y")
+
+    def test_three_var_fm(self):
+        # x + y <= 3, y >= 2, x >= 2 -> unsat
+        les = [con({"x": 1, "y": 1}, -3), con({"y": -1}, 2), con({"x": -1}, 2)]
+        assert lia_check([], les) == "unsat"
+
+    def test_eq_chain_propagates(self):
+        # a = b, b = c, a >= 5, c <= 4
+        eqs = [con({"a": 1, "b": -1}, 0), con({"b": 1, "c": -1}, 0)]
+        les = [con({"a": -1}, 5), con({"c": 1}, -4)]
+        assert lia_check(eqs, les) == "unsat"

@@ -1,0 +1,183 @@
+"""Tests for model extraction (verified witnesses for satisfiable formulas)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (
+    Solver,
+    app,
+    eq_f,
+    evaluate_formula,
+    fand,
+    fnot,
+    for_,
+    le_f,
+    lia_model,
+    lt_f,
+    ne_f,
+    num,
+    sym,
+    t_add,
+    t_scale,
+    t_sub,
+)
+from repro.smt.lia import LinCon
+from repro.smt.models import evaluate_lincon, literals_model
+from repro.smt.combine import TheoryLiteral
+
+x, y, z = sym("x"), sym("y"), sym("z")
+
+
+def con(coeffs, const):
+    return LinCon.make(coeffs, const)
+
+
+class TestLiaModel:
+    def test_trivial(self):
+        assert lia_model([], []) == {}
+
+    def test_bounds(self):
+        # 2 <= v <= 4
+        m = lia_model([], [con({"v": -1}, 2), con({"v": 1}, -4)])
+        assert m is not None and 2 <= m["v"] <= 4
+
+    def test_equality_chain(self):
+        m = lia_model(
+            [con({"a": 1, "b": -1}, 0), con({"b": 1}, -7)],
+            [],
+        )
+        assert m == {"a": 7, "b": 7} or (m["a"] == m["b"] == 7)
+
+    def test_unsat_returns_none(self):
+        assert lia_model([], [con({"v": 1}, 0), con({"v": -1}, 1)]) is None
+
+    def test_diseq_avoided(self):
+        # 0 <= v <= 1, v != 0  ==>  v = 1
+        m = lia_model([], [con({"v": -1}, 0), con({"v": 1}, -1)], [con({"v": 1}, 0)])
+        assert m is not None and m["v"] == 1
+
+    def test_multi_var_system(self):
+        # a + b <= 3, a >= 1, b >= 1
+        les = [con({"a": 1, "b": 1}, -3), con({"a": -1}, 1), con({"b": -1}, 1)]
+        m = lia_model([], les)
+        assert m is not None
+        assert m["a"] + m["b"] <= 3 and m["a"] >= 1 and m["b"] >= 1
+
+    def test_model_verifies_all_constraint_kinds(self):
+        eqs = [con({"a": 1, "b": -2}, 0)]
+        les = [con({"a": 1}, -10), con({"a": -1}, 0)]
+        nes = [con({"a": 1}, -4)]
+        m = lia_model(eqs, les, nes)
+        assert m is not None
+        assert evaluate_lincon(eqs[0], m) == 0
+        assert all(evaluate_lincon(le, m) <= 0 for le in les)
+        assert evaluate_lincon(nes[0], m) != 0
+
+
+class TestLiteralsModel:
+    def test_euf_functionality_respected(self):
+        lits = [
+            TheoryLiteral("eq", t_sub(x, y)),
+            TheoryLiteral("eq", t_sub(app("f", x), num(3))),
+        ]
+        model = literals_model(lits)
+        assert model is not None
+        variables, functions = model
+        # f at the (shared) value of x/y must be 3.
+        assert functions["f"][(variables["x"],)] == 3
+        assert variables["x"] == variables["y"]
+
+    def test_diseq_respected(self):
+        lits = [
+            TheoryLiteral("ne", t_sub(x, y)),
+            TheoryLiteral("le", t_sub(x, y)),
+        ]
+        model = literals_model(lits)
+        assert model is not None
+        variables, _functions = model
+        assert variables["x"] < variables["y"]
+
+    def test_inconsistent_returns_none(self):
+        lits = [
+            TheoryLiteral("eq", t_sub(x, y)),
+            TheoryLiteral("ne", t_sub(app("f", x), app("f", y))),
+        ]
+        assert literals_model(lits) is None
+
+
+class TestFormulaModel:
+    def test_simple(self):
+        s = Solver()
+        f = fand(le_f(num(3), x), lt_f(x, y))
+        model = s.model(f)
+        assert model is not None
+        assert evaluate_formula(f, *model)
+
+    def test_disjunction_picks_branch(self):
+        s = Solver()
+        f = for_(fand(le_f(x, num(-5)), le_f(num(-5), x)), eq_f(x, num(9)))
+        model = s.model(f)
+        assert model is not None
+        assert model[0]["x"] in (-5, 9)
+
+    def test_unsat_none(self):
+        s = Solver()
+        assert s.model(fand(lt_f(x, y), lt_f(y, x))) is None
+
+    def test_with_functions(self):
+        s = Solver()
+        f = fand(eq_f(app("g", x, y), num(2)), ne_f(x, y), le_f(x, num(0)))
+        model = s.model(f)
+        assert model is not None
+        assert evaluate_formula(f, *model)
+
+
+# -- property: any model returned satisfies the formula ----------------------
+
+_VARS = [x, y, z]
+
+
+@st.composite
+def formulas(draw, depth=2):
+    def term():
+        t = num(draw(st.integers(-4, 4)))
+        for _ in range(draw(st.integers(0, 2))):
+            v = draw(st.sampled_from(_VARS))
+            t = t_add(t, t_scale(draw(st.integers(-2, 2)), v))
+        return t
+
+    def atom():
+        kind = draw(st.sampled_from(["le", "lt", "eq", "ne", "fn"]))
+        if kind == "fn":
+            return eq_f(app("h", draw(st.sampled_from(_VARS))), term())
+        a, b = term(), term()
+        return {"le": le_f, "lt": lt_f, "eq": eq_f, "ne": ne_f}[kind](a, b)
+
+    def build(d):
+        if d <= 0:
+            return atom()
+        c = draw(st.integers(0, 3))
+        if c == 0:
+            return atom()
+        if c == 1:
+            return fnot(build(d - 1))
+        if c == 2:
+            return fand(build(d - 1), build(d - 1))
+        return for_(build(d - 1), build(d - 1))
+
+    return build(depth)
+
+
+@given(formulas())
+@settings(max_examples=120, deadline=None)
+def test_models_satisfy_their_formulas(f):
+    solver = Solver()
+    verdict = solver.is_sat(f)
+    model = solver.model(f)
+    if model is not None:
+        assert verdict != "unsat"
+        assert evaluate_formula(f, *model)
+    if verdict == "unsat":
+        assert model is None

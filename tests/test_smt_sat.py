@@ -1,0 +1,134 @@
+"""Tests for the CDCL SAT core."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SatSolver
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        model = {v + 1: bits[v] for v in range(num_vars)}
+        if all(any(model[abs(l)] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_instance_sat(self):
+        assert SatSolver().solve().is_sat
+
+    def test_unit_propagation(self):
+        s = SatSolver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        r = s.solve()
+        assert r.is_sat
+        assert r.model[1] is True and r.model[2] is True
+
+    def test_contradictory_units(self):
+        s = SatSolver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve().is_unsat
+
+    def test_empty_clause_unsat(self):
+        s = SatSolver()
+        s.add_clause([])
+        assert s.solve().is_unsat
+
+    def test_tautology_dropped(self):
+        s = SatSolver()
+        s.add_clause([1, -1])
+        assert s.solve().is_sat
+
+    def test_simple_backtracking(self):
+        s = SatSolver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 2])
+        s.add_clause([1, -2])
+        r = s.solve()
+        assert r.is_sat
+        assert r.model[1] is True and r.model[2] is True
+
+    def test_xor_chain_unsat(self):
+        # (a xor b), (b xor c), (a xor c) is unsat for odd cycles
+        s = SatSolver()
+        for a, b in [(1, 2), (2, 3), (1, 3)]:
+            s.add_clause([a, b])
+            s.add_clause([-a, -b])
+        assert s.solve().is_unsat
+
+    def test_assumptions_sat_then_unsat(self):
+        s = SatSolver()
+        s.add_clause([-1, 2])
+        assert s.solve(assumptions=[1]).is_sat
+        s.reset_to_root()
+        s.add_clause([-2])
+        assert s.solve(assumptions=[1]).is_unsat
+        # Without the assumption the instance stays satisfiable.
+        assert s.solve().is_sat
+
+    def test_incremental_clause_addition(self):
+        s = SatSolver()
+        s.add_clause([1, 2, 3])
+        assert s.solve().is_sat
+        s.reset_to_root()
+        s.add_clause([-1])
+        s.add_clause([-2])
+        r = s.solve()
+        assert r.is_sat and r.model[3] is True
+
+
+class TestPigeonhole:
+    def _php(self, holes):
+        """holes+1 pigeons into `holes` holes: classic small UNSAT family."""
+
+        pigeons = holes + 1
+        s = SatSolver()
+        def v(p, h):
+            return p * holes + h + 1
+        for p in range(pigeons):
+            s.add_clause([v(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-v(p1, h), -v(p2, h)])
+        return s
+
+    def test_php_3(self):
+        assert self._php(3).solve().is_unsat
+
+    def test_php_4(self):
+        assert self._php(4).solve().is_unsat
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(1, 8))
+    num_clauses = draw(st.integers(1, 30))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, 4))
+        clause = [
+            draw(st.integers(1, num_vars)) * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+@given(random_cnf())
+@settings(max_examples=300, deadline=None)
+def test_agrees_with_brute_force(instance):
+    num_vars, clauses = instance
+    s = SatSolver()
+    for c in clauses:
+        s.add_clause(list(c))
+    result = s.solve()
+    expected = brute_force_sat(num_vars, clauses)
+    assert result.status == ("sat" if expected else "unsat")
+    if result.is_sat:
+        model = {v: result.model.get(v, False) for v in range(1, num_vars + 1)}
+        assert all(any(model[abs(l)] == (l > 0) for l in c) for c in clauses)

@@ -1,0 +1,224 @@
+"""Tests for the DPLL(T) solver facade.
+
+The key property (which consolidation soundness rests on): whenever a
+brute-force search finds an integer model of a formula, the solver must not
+declare it unsatisfiable.  Completeness is exercised on curated instances.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (
+    FALSE_F,
+    FAnd,
+    FNot,
+    FOr,
+    Eq,
+    Le,
+    Lin,
+    Num,
+    Solver,
+    Sym,
+    TRUE_F,
+    app,
+    eq_f,
+    fand,
+    fiff,
+    fimplies,
+    fnot,
+    for_,
+    le_f,
+    lt_f,
+    ne_f,
+    num,
+    sym,
+    t_add,
+    t_scale,
+    t_sub,
+)
+
+x, y, z = sym("x"), sym("y"), sym("z")
+
+
+def fresh_solver():
+    return Solver()
+
+
+class TestPureArithmetic:
+    def test_valid_transitivity(self):
+        s = fresh_solver()
+        assert s.is_valid(fimplies(fand(le_f(x, y), le_f(y, z)), le_f(x, z)))
+
+    def test_invalid_converse(self):
+        s = fresh_solver()
+        assert not s.is_valid(fimplies(le_f(x, z), le_f(x, y)))
+
+    def test_case_split_validity(self):
+        # (x <= 5) or (x >= 3) is valid over the integers
+        s = fresh_solver()
+        assert s.is_valid(for_(le_f(x, num(5)), le_f(num(3), x)))
+
+    def test_trichotomy(self):
+        s = fresh_solver()
+        f = for_(lt_f(x, y), eq_f(x, y), lt_f(y, x))
+        assert s.is_valid(f)
+
+    def test_parity_style_gap(self):
+        # x >= 1 and x <= 2 and x != 1 entails x = 2
+        s = fresh_solver()
+        hyp = fand(le_f(num(1), x), le_f(x, num(2)), ne_f(x, num(1)))
+        assert s.entails(hyp, eq_f(x, num(2)))
+
+    def test_contradictory_hypothesis_entails_anything(self):
+        s = fresh_solver()
+        hyp = fand(lt_f(x, y), lt_f(y, x))
+        assert s.entails(hyp, eq_f(x, num(42)))
+
+    def test_false_formula(self):
+        s = fresh_solver()
+        assert s.is_sat(FALSE_F) == "unsat"
+        assert s.is_sat(TRUE_F) == "sat"
+
+
+class TestEufCombination:
+    def test_congruence_entailment(self):
+        s = fresh_solver()
+        assert s.entails(eq_f(x, y), eq_f(app("f", x), app("f", y)))
+
+    def test_congruence_not_injective(self):
+        s = fresh_solver()
+        assert not s.entails(eq_f(app("f", x), app("f", y)), eq_f(x, y))
+
+    def test_bounds_merge_then_congruence(self):
+        # x <= y, y <= x  |=  g(x, z) = g(y, z)
+        s = fresh_solver()
+        hyp = fand(le_f(x, y), le_f(y, x))
+        assert s.entails(hyp, eq_f(app("g", x, z), app("g", y, z)))
+
+    def test_function_result_arithmetic(self):
+        # a = f(x), b = f(x) + 1  |=  b - a = 1
+        s = fresh_solver()
+        a, b = sym("a"), sym("b")
+        hyp = fand(eq_f(a, app("f", x)), eq_f(b, t_add(app("f", x), num(1))))
+        assert s.entails(hyp, eq_f(t_sub(b, a), num(1)))
+
+    def test_paper_example_3(self):
+        # Psi: a1 > 0, xx = f(a2), yy = a1  entails  yy >= 0 and f(a2) = xx
+        s = fresh_solver()
+        a1, a2, xx, yy = sym("a1"), sym("a2"), sym("xx"), sym("yy")
+        psi = fand(lt_f(num(0), a1), eq_f(xx, app("f", a2)), eq_f(yy, a1))
+        goal = fand(le_f(num(0), yy), eq_f(app("f", a2), xx))
+        assert s.entails(psi, goal)
+
+    def test_nested_congruence_through_arithmetic(self):
+        # x = y + 1  |=  f(x) = f(y + 1)
+        s = fresh_solver()
+        hyp = eq_f(x, t_add(y, num(1)))
+        assert s.entails(hyp, eq_f(app("f", x), app("f", t_add(y, num(1)))))
+
+    def test_disequality_on_function_results(self):
+        # f(x) = 1, f(y) = 2  |=  x != y
+        s = fresh_solver()
+        hyp = fand(eq_f(app("f", x), num(1)), eq_f(app("f", y), num(2)))
+        assert s.entails(hyp, ne_f(x, y))
+
+
+class TestMemoisation:
+    def test_cache_hits_counted(self):
+        s = fresh_solver()
+        f = fimplies(le_f(x, y), le_f(x, t_add(y, num(1))))
+        assert s.is_valid(f)
+        before = s.stats.cache_hits
+        assert s.is_valid(f)
+        assert s.stats.cache_hits == before + 1
+
+
+# -- property: never 'unsat' on a brute-force-satisfiable formula ------------
+
+_VARS = [x, y, z]
+
+
+@st.composite
+def lia_formulas(draw, depth=2):
+    def term():
+        parts = draw(
+            st.lists(
+                st.tuples(st.sampled_from(_VARS), st.integers(-3, 3)),
+                min_size=0,
+                max_size=3,
+            )
+        )
+        t = num(draw(st.integers(-4, 4)))
+        for v, c in parts:
+            t = t_add(t, t_scale(c, v))
+        return t
+
+    def atom():
+        kind = draw(st.sampled_from(["le", "eq", "lt", "ne"]))
+        a, b = term(), term()
+        if kind == "le":
+            return le_f(a, b)
+        if kind == "lt":
+            return lt_f(a, b)
+        if kind == "eq":
+            return eq_f(a, b)
+        return ne_f(a, b)
+
+    def formula(d):
+        if d <= 0:
+            return atom()
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return atom()
+        if choice == 1:
+            return fnot(formula(d - 1))
+        if choice == 2:
+            return fand(formula(d - 1), formula(d - 1))
+        return for_(formula(d - 1), formula(d - 1))
+
+    return formula(depth)
+
+
+def _eval_term(t, env):
+    if isinstance(t, Num):
+        return t.value
+    if isinstance(t, Sym):
+        return env[t.name]
+    if isinstance(t, Lin):
+        return t.const + sum(c * _eval_term(a, env) for a, c in t.coeffs)
+    raise AssertionError(f"unexpected term {t}")
+
+
+def _eval_formula(f, env):
+    if isinstance(f, FAnd):
+        return all(_eval_formula(g, env) for g in f.args)
+    if isinstance(f, FOr):
+        return any(_eval_formula(g, env) for g in f.args)
+    if isinstance(f, FNot):
+        return not _eval_formula(f.operand, env)
+    if isinstance(f, Le):
+        return _eval_term(f.term, env) <= 0
+    if isinstance(f, Eq):
+        return _eval_term(f.term, env) == 0
+    if f == TRUE_F:
+        return True
+    if f == FALSE_F:
+        return False
+    raise AssertionError(f"unexpected formula {f}")
+
+
+@given(lia_formulas())
+@settings(max_examples=150, deadline=None)
+def test_never_unsat_when_model_exists(f):
+    solver = Solver()
+    verdict = solver.is_sat(f)
+    found = any(
+        _eval_formula(f, {"x": a, "y": b, "z": c})
+        for a, b, c in itertools.product(range(-4, 5), repeat=3)
+    )
+    if found:
+        assert verdict != "unsat"
+    # And dually on this bounded grid: an 'unsat' verdict means no model.
+    if verdict == "unsat":
+        assert not found

@@ -1,0 +1,159 @@
+"""Tests for term/formula canonicalisation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (
+    Eq,
+    FALSE_F,
+    FAnd,
+    FNot,
+    FOr,
+    Le,
+    Lin,
+    Num,
+    TRUE_F,
+    app,
+    as_linear,
+    eq_f,
+    fand,
+    fnot,
+    for_,
+    free_syms,
+    from_linear,
+    le_f,
+    lt_f,
+    ne_f,
+    num,
+    rename_syms,
+    sym,
+    t_add,
+    t_mul,
+    t_neg,
+    t_scale,
+    t_sub,
+)
+
+x, y, z = sym("x"), sym("y"), sym("z")
+
+
+class TestLinearNormalForm:
+    def test_add_constants_folds(self):
+        assert t_add(num(2), num(3)) == num(5)
+
+    def test_sub_self_is_zero(self):
+        assert t_sub(x, x) == num(0)
+
+    def test_coefficients_merge(self):
+        t = t_add(t_add(x, x), x)
+        assert t == t_scale(3, x)
+
+    def test_single_unit_monomial_is_atom(self):
+        assert t_add(x, num(0)) == x
+
+    def test_scale_by_zero(self):
+        assert t_scale(0, t_add(x, y)) == num(0)
+
+    def test_ordering_canonical(self):
+        assert t_add(x, y) == t_add(y, x)
+
+    def test_mul_constant_linearises(self):
+        assert t_mul(num(3), t_add(x, num(1))) == t_add(t_scale(3, x), num(3))
+
+    def test_mul_nonlinear_uninterpreted_and_commutative(self):
+        assert t_mul(x, y) == t_mul(y, x)
+        assert t_mul(x, y).func == "@mul"
+
+    def test_as_from_linear_inverse(self):
+        t = t_add(t_scale(2, x), t_add(t_scale(-3, y), num(7)))
+        const, coeffs = as_linear(t)
+        assert from_linear(const, coeffs) == t
+
+
+class TestAtomCanonicalisation:
+    def test_le_trivially_true(self):
+        assert le_f(num(1), num(2)) == TRUE_F
+
+    def test_le_trivially_false(self):
+        assert le_f(num(3), num(2)) == FALSE_F
+
+    def test_le_integer_tightening(self):
+        # 2x <= 3  ==>  x <= 1
+        f = le_f(t_scale(2, x), num(3))
+        assert f == le_f(x, num(1))
+
+    def test_lt_is_le_plus_one(self):
+        assert lt_f(x, y) == le_f(t_add(x, num(1)), y)
+
+    def test_eq_gcd_refutation(self):
+        # 2x = 3 has no integer solution
+        assert eq_f(t_scale(2, x), num(3)) == FALSE_F
+
+    def test_eq_sign_canonical(self):
+        assert eq_f(x, y) == eq_f(y, x)
+
+    def test_eq_reflexive_true(self):
+        assert eq_f(t_add(x, num(1)), t_add(num(1), x)) == TRUE_F
+
+    def test_ne_of_identical_false(self):
+        assert ne_f(x, x) == FALSE_F
+
+
+class TestConnectives:
+    def test_fnot_involution(self):
+        f = eq_f(x, y)
+        assert fnot(fnot(f)) == f
+
+    def test_fnot_le_normalises(self):
+        # not(x <= 0)  ==  1 <= x
+        f = fnot(le_f(x, num(0)))
+        assert isinstance(f, Le)
+        assert f == le_f(num(1), x)
+
+    def test_fand_flattens_and_dedups(self):
+        f = fand(eq_f(x, y), fand(eq_f(x, y), le_f(x, num(3))))
+        assert isinstance(f, FAnd)
+        assert len(f.args) == 2
+
+    def test_fand_false_absorbs(self):
+        assert fand(eq_f(x, y), FALSE_F) == FALSE_F
+
+    def test_for_true_absorbs(self):
+        assert for_(eq_f(x, y), TRUE_F) == TRUE_F
+
+    def test_empty_connectives(self):
+        assert fand() == TRUE_F
+        assert for_() == FALSE_F
+
+    def test_singleton_collapses(self):
+        f = le_f(x, y)
+        assert fand(f) == f
+        assert for_(f) == f
+
+
+class TestSubstitution:
+    def test_rename_in_atoms(self):
+        f = le_f(x, y)
+        g = rename_syms(f, {"x": z})
+        assert g == le_f(z, y)
+
+    def test_rename_inside_app(self):
+        f = eq_f(app("f", x), num(0))
+        g = rename_syms(f, {"x": t_add(y, num(1))})
+        assert g == eq_f(app("f", t_add(y, num(1))), num(0))
+
+    def test_rename_recanonicalises(self):
+        # x - y = 0 with y := x  becomes true
+        f = eq_f(x, y)
+        assert rename_syms(f, {"y": x}) == TRUE_F
+
+    def test_free_syms(self):
+        f = fand(le_f(x, y), eq_f(app("f", z), num(1)))
+        assert free_syms(f) == {"x", "y", "z"}
+
+
+@given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-5, 5))
+@settings(max_examples=200)
+def test_linear_arith_matches_python(a, b, k):
+    t = t_add(t_scale(k, t_add(t_scale(a, x), num(b))), t_scale(-k * a, x))
+    # k*(a*x + b) - k*a*x == k*b
+    assert t == num(k * b)
