@@ -26,7 +26,8 @@ import argparse
 import sys
 
 from .consolidation import ConsolidationOptions, check_soundness, consolidate_all
-from .lang import FunctionTable, Interpreter, parse_program, program_to_str
+from .lang import FunctionTable, parse_program, program_to_str
+from .lang.compile import BACKENDS, DEFAULT_BACKEND, make_runner
 from .lang.parser import ParseError
 
 __all__ = ["main"]
@@ -112,7 +113,8 @@ def cmd_run(args) -> int:
     dataset = _domain_dataset(args.domain)
     functions = dataset.functions if dataset else FunctionTable()
     bindings = _parse_args_option(args.args)
-    result = Interpreter(functions).run(program, bindings)
+    runner = make_runner(program, functions, backend=args.backend)
+    result = runner(bindings)
     for pid in sorted(result.notifications):
         print(
             f"{pid}: {str(result.notifications[pid]).lower()} "
@@ -125,7 +127,9 @@ def cmd_run(args) -> int:
 def cmd_figure9(args) -> int:
     from .experiments import render_figure9, run_figure9
 
-    report = run_figure9(n_udfs=args.n_udfs, scale=args.scale, seed=args.seed)
+    report = run_figure9(
+        n_udfs=args.n_udfs, scale=args.scale, seed=args.seed, backend=args.backend
+    )
     print(render_figure9(report))
     return 0
 
@@ -134,7 +138,9 @@ def cmd_figure10(args) -> int:
     from .experiments import render_figure10, run_figure10
 
     sweep = tuple(int(x) for x in args.sweep.split(","))
-    report = run_figure10(sweep=sweep, articles=args.articles, seed=args.seed)
+    report = run_figure10(
+        sweep=sweep, articles=args.articles, seed=args.seed, backend=args.backend
+    )
     print(render_figure10(report))
     return 0
 
@@ -147,7 +153,9 @@ def cmd_latency(args) -> int:
     dataset = generate_stocks(companies=30, total_daily_rows=5000)
     programs = DOMAIN_QUERIES["stock"].make_batch(dataset, "Q1", n=args.n_udfs, seed=args.seed)
     priority = (programs[args.priority_index].pid,)
-    report = run_latency_experiment(dataset, programs, priority=priority, row_limit=30)
+    report = run_latency_experiment(
+        dataset, programs, priority=priority, row_limit=30, backend=args.backend
+    )
     for key, value in report.summary().items():
         print(f"{key:24s} {value}")
     return 0
@@ -156,6 +164,13 @@ def cmd_latency(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Consolidation of queries with UDFs (PLDI 2014 reproduction)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=DEFAULT_BACKEND,
+        help="UDF execution backend (default: %(default)s; 'compiled' falls "
+        "back to the interpreter, with a logged warning, if translation fails)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

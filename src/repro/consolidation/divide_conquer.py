@@ -40,7 +40,11 @@ __all__ = ["ConsolidationReport", "consolidate_all"]
 
 @dataclass
 class ConsolidationReport:
-    """What happened while merging a batch of UDFs."""
+    """What happened while merging a batch of UDFs.
+
+    ``parallel``/``max_workers`` record how the driver was configured, so
+    scalability experiments can attribute a duration to the pool it used.
+    """
 
     program: Program
     num_inputs: int
@@ -48,6 +52,8 @@ class ConsolidationReport:
     tree_depth: int = 0
     duration: float = 0.0
     solver_stats: dict[str, int] = field(default_factory=dict)
+    parallel: bool = False
+    max_workers: int = 1
 
 
 def _cluster_by_features(programs: list[Program]) -> list[Program]:
@@ -145,4 +151,6 @@ def consolidate_all(
         tree_depth=depth,
         duration=time.perf_counter() - started,
         solver_stats=solver.stats.snapshot(),
+        parallel=parallel,
+        max_workers=max_workers if parallel else 1,
     )

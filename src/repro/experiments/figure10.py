@@ -18,6 +18,7 @@ from typing import Sequence
 
 from ..consolidation.algorithm import ConsolidationOptions
 from ..datasets import generate_news
+from ..lang.compile import DEFAULT_BACKEND
 from ..queries import DOMAIN_QUERIES
 from .harness import ExperimentResult, run_experiment
 
@@ -80,6 +81,7 @@ def run_figure10(
     seed: int = 1,
     workers: int = 4,
     options: ConsolidationOptions | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Figure10Report:
     """Sweep the number of News-mix UDFs; returns all five series."""
 
@@ -89,7 +91,12 @@ def run_figure10(
     for n in sweep:
         programs = module.make_batch(dataset, family, n=n, seed=seed)
         result = run_experiment(
-            dataset, programs, family=family, workers=workers, options=options
+            dataset,
+            programs,
+            family=family,
+            workers=workers,
+            options=options,
+            backend=backend,
         )
         report.points.append(ScalabilityPoint.from_result(result))
     return report

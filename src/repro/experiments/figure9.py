@@ -32,6 +32,7 @@ from ..datasets import (
     generate_twitter,
     generate_weather,
 )
+from ..lang.compile import DEFAULT_BACKEND
 from ..queries import DOMAIN_QUERIES
 from .harness import ExperimentResult, run_experiment
 
@@ -94,6 +95,7 @@ def run_figure9(
     domains: Iterable[str] = DOMAIN_ORDER,
     options: ConsolidationOptions | None = None,
     datasets: dict | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Figure9Report:
     """Regenerate every Figure 9 bar pair; raises on any soundness failure."""
 
@@ -105,7 +107,12 @@ def run_figure9(
         for family in module.FAMILY_NAMES:
             programs = module.make_batch(ds, family, n=n_udfs, seed=seed)
             result = run_experiment(
-                ds, programs, family=family, workers=workers, options=options
+                ds,
+                programs,
+                family=family,
+                workers=workers,
+                options=options,
+                backend=backend,
             )
             report.results.append(result)
     return report

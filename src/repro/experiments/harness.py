@@ -29,6 +29,7 @@ from typing import Sequence
 from ..consolidation.algorithm import ConsolidationOptions
 from ..datasets.records import Dataset
 from ..lang.ast import Program
+from ..lang.compile import DEFAULT_BACKEND
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..naiad.linq import run_where_consolidated, run_where_many
 
@@ -105,16 +106,30 @@ def run_experiment(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     options: ConsolidationOptions | None = None,
     io_cost_per_record: int = 25,
+    backend: str = DEFAULT_BACKEND,
 ) -> ExperimentResult:
     """Measure one batch under both operators; raises on any disagreement."""
 
     rows = dataset.rows if row_limit is None else dataset.rows[:row_limit]
 
     many = run_where_many(
-        rows, programs, dataset.functions, cost_model, workers, io_cost_per_record
+        rows,
+        programs,
+        dataset.functions,
+        cost_model,
+        workers,
+        io_cost_per_record,
+        backend=backend,
     )
     cons, report = run_where_consolidated(
-        rows, programs, dataset.functions, cost_model, workers, io_cost_per_record, options
+        rows,
+        programs,
+        dataset.functions,
+        cost_model,
+        workers,
+        io_cost_per_record,
+        options,
+        backend=backend,
     )
 
     if many.buckets != cons.buckets:

@@ -31,8 +31,9 @@ from ..consolidation.algorithm import ConsolidationOptions
 from ..consolidation.divide_conquer import consolidate_all
 from ..datasets.records import Dataset
 from ..lang.ast import Program
+from ..lang.compile import DEFAULT_BACKEND, make_runner
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
-from ..lang.interp import Interpreter, run_sequentially
+from ..lang.interp import combine_sequential
 
 __all__ = ["LatencyReport", "run_latency_experiment"]
 
@@ -71,15 +72,24 @@ def _average_latencies(
     functions,
     cost_model: CostModel,
     merged: bool,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict[str, float]:
     totals = {pid: 0 for pid in pids}
-    interp = Interpreter(functions, cost_model)
+    if merged:
+        runners = [make_runner(programs_or_merged, functions, cost_model, backend=backend)]
+        param = programs_or_merged.params[0]
+    else:
+        runners = [
+            make_runner(p, functions, cost_model, backend=backend)
+            for p in programs_or_merged
+        ]
+        param = programs_or_merged[0].params[0]
     for row in rows:
+        args = {param: row}
         if merged:
-            result = interp.run(programs_or_merged, {programs_or_merged.params[0]: row})
+            result = runners[0](args)
         else:
-            args = {programs_or_merged[0].params[0]: row}
-            result = run_sequentially(programs_or_merged, args, functions, cost_model)
+            result = combine_sequential(run(args) for run in runners)
         for pid in pids:
             totals[pid] += result.notification_costs[pid]
     return {pid: totals[pid] / len(rows) for pid in pids}
@@ -92,6 +102,7 @@ def run_latency_experiment(
     row_limit: int | None = 100,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     options: ConsolidationOptions | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> LatencyReport:
     """Measure per-query broadcast latencies under the three strategies."""
 
@@ -108,8 +119,14 @@ def run_latency_experiment(
     return LatencyReport(
         n_udfs=len(programs),
         rows=len(rows),
-        sequential=_average_latencies(programs, pids, rows, dataset.functions, cost_model, merged=False),
-        consolidated=_average_latencies(merged_default, pids, rows, dataset.functions, cost_model, merged=True),
-        prioritized=_average_latencies(merged_priority, pids, rows, dataset.functions, cost_model, merged=True),
+        sequential=_average_latencies(
+            programs, pids, rows, dataset.functions, cost_model, merged=False, backend=backend
+        ),
+        consolidated=_average_latencies(
+            merged_default, pids, rows, dataset.functions, cost_model, merged=True, backend=backend
+        ),
+        prioritized=_average_latencies(
+            merged_priority, pids, rows, dataset.functions, cost_model, merged=True, backend=backend
+        ),
         priority=tuple(priority),
     )

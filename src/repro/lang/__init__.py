@@ -61,6 +61,15 @@ from .builder import (
     var,
     while_,
 )
+from .compile import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    CompiledProgram,
+    CompileError,
+    compile_cached,
+    compile_program,
+    make_runner,
+)
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .functions import BOOL, INT, STR, FunctionTable, LibraryFunction
 from .interp import (
@@ -69,6 +78,7 @@ from .interp import (
     NotificationClash,
     RunResult,
     StepLimitExceeded,
+    combine_sequential,
     run_program,
     run_sequentially,
 )

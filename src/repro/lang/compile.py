@@ -1,0 +1,649 @@
+"""Compile-to-Python execution backend for Figure-1 programs.
+
+The tree-walking :class:`~repro.lang.interp.Interpreter` pays per-node
+``isinstance`` dispatch, a fuel tick, a fresh tuple and an env lookup for
+every AST node it touches — multiplied by 50 UDFs x thousands of records
+in the Figure 9/10 experiments.  This module walks a :class:`Program` once
+and emits Python source for a specialised closure instead:
+
+* arithmetic, comparisons and connectives become straight-line Python
+  expressions (operands that need the interpreter's dynamic type checks
+  are materialised into locals first, so the checks run in the same order
+  the interpreter performs them);
+* ``if`` / ``while`` become native control flow;
+* library calls are bound to local wrapper closures created once at
+  compile time (:mod:`repro.lang.runtime`);
+* cost accounting is folded into literal-constant ``_cost += k`` additions,
+  one per basic block — expression costs in Figure 2 depend only on the
+  expression's shape, never on run-time values, so every block's cost is
+  a compile-time constant;
+* ``notify`` writes into a preallocated notifications dict and records the
+  per-pid latency (``_cost`` plus the folded pending constant), exactly as
+  the interpreter's ``_elapsed`` bookkeeping does;
+* the fuel check is hoisted to loop back-edges, so straight-line code pays
+  zero per-node overhead.  Each back-edge burns the static node count of
+  one iteration, which bounds runaway loops within a small constant factor
+  of the interpreter's per-node budget.
+
+The compiled closure honours the interpreter's observable contract: the
+same :class:`RunResult` (env, notifications, cost, notification_costs) and
+the same error classes (:class:`InterpError`, :class:`NotificationClash`,
+:class:`StepLimitExceeded`).  Error *messages* match the interpreter's in
+the common cases; when several dynamic errors race inside one expression
+the compiled code may report a different member of the same class.
+
+:func:`make_runner` is the backend selector used by the dataflow
+operators, the experiment harness and the CLI: ``backend="compiled"``
+(the default) compiles through the per-``(program, cost model, function
+table)`` cache so a job's UDFs compile once, not once per record, and any
+compilation failure logs a warning and falls back to the interpreter.
+"""
+
+from __future__ import annotations
+
+import logging
+import re
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from .ast import (
+    Arg,
+    Assign,
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Call,
+    Cmp,
+    Expr,
+    If,
+    IntConst,
+    Not,
+    Notify,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    StrConst,
+    Var,
+    While,
+)
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .functions import BOOL, INT, STR, FunctionTable
+from .interp import (
+    Interpreter,
+    InterpError,
+    NotificationClash,
+    RunResult,
+    StepLimitExceeded,
+)
+from .printer import expr_to_str, stmt_to_str
+from .runtime import make_lib_call, make_memo_call, unbound_error
+from .visitors import stmt_size
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "CompileError",
+    "CompiledProgram",
+    "compile_program",
+    "compile_cached",
+    "clear_compile_cache",
+    "make_runner",
+]
+
+logger = logging.getLogger(__name__)
+
+BACKENDS = ("interp", "compiled")
+DEFAULT_BACKEND = "compiled"
+DEFAULT_MAX_STEPS = 2_000_000
+
+_ATOM = re.compile(r"^(?:[_A-Za-z]\w*|-?\d+)$")
+
+
+class CompileError(Exception):
+    """The program cannot be translated; callers fall back to the interpreter."""
+
+
+def _contains_loop(s: Stmt) -> bool:
+    if isinstance(s, While):
+        return True
+    if isinstance(s, Seq):
+        return any(_contains_loop(sub) for sub in s.stmts)
+    if isinstance(s, If):
+        return _contains_loop(s.then) or _contains_loop(s.orelse)
+    return False
+
+
+def _collect_assigns(s: Stmt, out: list[tuple[str, Expr]]) -> None:
+    if isinstance(s, Assign):
+        out.append((s.var, s.expr))
+    elif isinstance(s, Seq):
+        for sub in s.stmts:
+            _collect_assigns(sub, out)
+    elif isinstance(s, If):
+        _collect_assigns(s.then, out)
+        _collect_assigns(s.orelse, out)
+    elif isinstance(s, While):
+        _collect_assigns(s.body, out)
+
+
+def _static_var_sorts(program: Program) -> dict[str, str | None]:
+    """Flow-insensitive sort inference for local variables.
+
+    A variable's sort is known when every assignment to it produces the
+    same statically known sort ("known" meaning: *if* evaluation yields a
+    value, the value has this sort — operators guarantee their result sort
+    regardless of operand types).  Known sorts let the emitter elide the
+    interpreter's dynamic checks, e.g. on loop counters.  Arguments, call
+    results and ``=`` comparisons stay unknown, exactly the places the
+    interpreter checks dynamically.
+    """
+
+    assigns: list[tuple[str, Expr]] = []
+    _collect_assigns(program.body, assigns)
+    params = set(program.params)
+    sorts: dict[str, str | None] = {}
+
+    def esort(e: Expr) -> str | None:
+        if isinstance(e, IntConst):
+            return INT
+        if isinstance(e, StrConst):
+            return STR
+        if isinstance(e, BoolConst):
+            return BOOL
+        if isinstance(e, Var):
+            return None if e.name in params else sorts.get(e.name)
+        if isinstance(e, BinOp):
+            return INT
+        if isinstance(e, Cmp):
+            return None if e.op == "=" else BOOL
+        if isinstance(e, (Not, BoolOp)):
+            return BOOL
+        return None  # Arg, Call
+
+    # Known-ness only grows, so the fixpoint needs at most one round per
+    # assigned name.
+    for _ in range(len(assigns) + 1):
+        new: dict[str, str | None] = {}
+        for name, e in assigns:
+            s = esort(e)
+            if name in new and new[name] != s:
+                s = None
+            new[name] = None if name in params else s
+        if new == sorts:
+            break
+        sorts = new
+    return sorts
+
+
+class _Emitter:
+    """Single-pass AST -> Python source translator.
+
+    ``pending`` accumulates the statically known cost of the current basic
+    block; it is flushed into the run-time ``_cost`` accumulator only at
+    block boundaries (branch joins, loop back-edges, function exit) and
+    read without flushing at ``notify`` latency captures.
+    """
+
+    def __init__(
+        self, functions: FunctionTable, cost_model: CostModel, memoize_calls: bool
+    ) -> None:
+        self.functions = functions
+        self.cm = cost_model
+        self.memoize = memoize_calls
+        self.lines: list[str] = []
+        # Globals bound into the exec namespace of the compiled closure.
+        self.bindings: dict[str, object] = {
+            "_InterpError": InterpError,
+            "_NotificationClash": NotificationClash,
+            "_StepLimitExceeded": StepLimitExceeded,
+            "_unbound_error": unbound_error,
+        }
+        self.slots: dict[str, str] = {}  # source name -> mangled local
+        self.callers: dict[str, tuple[str, int]] = {}  # func -> (global, cost)
+        self.var_sorts: dict[str, str | None] = {}
+        self.pending = 0
+        self._tmp = 0
+
+    # -- infrastructure -----------------------------------------------------
+
+    def emit(self, depth: int, line: str) -> None:
+        self.lines.append("    " * depth + line)
+
+    def slot(self, name: str) -> str:
+        mangled = self.slots.get(name)
+        if mangled is None:
+            mangled = f"_u{len(self.slots)}"
+            self.slots[name] = mangled
+        return mangled
+
+    def caller(self, func: str) -> tuple[str, int]:
+        entry = self.callers.get(func)
+        if entry is None:
+            try:
+                lib = self.functions[func]
+            except KeyError:
+                raise CompileError(f"unknown library function {func!r}") from None
+            name = f"_c{len(self.callers)}"
+            wrapper = (
+                make_memo_call(func, lib.fn) if self.memoize else make_lib_call(func, lib.fn)
+            )
+            self.bindings[name] = wrapper
+            entry = (name, lib.cost)
+            self.callers[func] = entry
+        return entry
+
+    def materialize(self, py: str, depth: int) -> str:
+        """Pin ``py`` to a local so it can be checked / reused by name.
+
+        Atoms (locals and integer literals) are returned unchanged — reading
+        them is side-effect free apart from the unbound-local check, which
+        the first use triggers exactly where the interpreter would.
+        """
+
+        if _ATOM.match(py) or py.startswith(("'", '"')):
+            return py
+        name = f"_t{self._tmp}"
+        self._tmp += 1
+        self.emit(depth, f"{name} = {py}")
+        return name
+
+    def force(self, py: str, depth: int) -> str:
+        """Evaluate ``py`` *here*, even if it is a bare local read.
+
+        Used where Figure 2 demands evaluation that Python would otherwise
+        delay or skip — the non-short-circuiting connectives and the
+        eval-before-clash-check order of ``notify`` — so an unbound-local
+        error surfaces exactly where the interpreter raises it.
+        """
+
+        if py in ("True", "False") or py.startswith(("'", '"', "_t")) or py.lstrip("-").isdigit():
+            return py
+        name = f"_t{self._tmp}"
+        self._tmp += 1
+        self.emit(depth, f"{name} = {py}")
+        return name
+
+    def flush(self, depth: int) -> None:
+        if self.pending:
+            self.emit(depth, f"_cost += {self.pending}")
+        self.pending = 0
+
+    def _check(self, depth: int, cond: str, exc: str, message: str) -> None:
+        self.emit(depth, f"if {cond}:")
+        self.emit(depth + 1, f"raise {exc}({message!r})")
+
+    def _check_int(self, name: str, e: Expr, depth: int, kind: str) -> None:
+        # Matches the interpreter's arithmetic requirement: int but not bool.
+        self._check(
+            depth,
+            f"not isinstance({name}, int) or isinstance({name}, bool)",
+            "_InterpError",
+            f"{kind}: {expr_to_str(e)}",
+        )
+
+    def _check_ordered(self, name: str, e: Expr, depth: int) -> None:
+        # The interpreter's ordering check admits bools (they are ints).
+        self._check(
+            depth,
+            f"not isinstance({name}, int)",
+            "_InterpError",
+            f"ordering on non-integers: {expr_to_str(e)}",
+        )
+
+    def _check_bool(self, name: str, message: str, depth: int) -> None:
+        self._check(depth, f"not isinstance({name}, bool)", "_InterpError", message)
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, e: Expr, depth: int) -> tuple[str, int, str | None]:
+        """Translate ``e``; returns ``(python_expr, static_cost, sort)``.
+
+        ``sort`` is the *statically guaranteed* run-time sort, or ``None``
+        when unknown (args, locals, library calls, ``=`` comparisons — the
+        places where the interpreter performs dynamic checks).  Known-sort
+        sub-expressions are provably side-effect free, which is what makes
+        inlining them into short-circuiting Python connectives sound.
+        """
+
+        cm = self.cm
+        if isinstance(e, IntConst):
+            return repr(e.value), cm.int_const, INT
+        if isinstance(e, StrConst):
+            return repr(e.value), cm.str_const, STR
+        if isinstance(e, BoolConst):
+            return ("True" if e.value else "False"), cm.bool_const, BOOL
+        if isinstance(e, Arg):
+            return self.slot(e.name), cm.arg, None
+        if isinstance(e, Var):
+            return self.slot(e.name), cm.var, self.var_sorts.get(e.name)
+        if isinstance(e, Call):
+            parts: list[str] = []
+            cost = 0
+            for a in e.args:
+                py, c, _ = self.expr(a, depth)
+                parts.append(py)
+                cost += c
+            name, call_cost = self.caller(e.func)
+            args = ", ".join(["_cache", *parts] if self.memoize else parts)
+            return f"{name}({args})", cost + call_cost, None
+        if isinstance(e, BinOp):
+            lpy, lc, ls = self.expr(e.left, depth)
+            rpy, rc, rs = self.expr(e.right, depth)
+            if ls != INT:
+                lpy = self.materialize(lpy, depth)
+            if rs != INT:
+                rpy = self.materialize(rpy, depth)
+            if ls != INT:
+                self._check_int(lpy, e, depth, "arithmetic on non-integers")
+            if rs != INT:
+                self._check_int(rpy, e, depth, "arithmetic on non-integers")
+            return f"({lpy} {e.op} {rpy})", lc + rc + cm.arith_cost(e.op), INT
+        if isinstance(e, Cmp):
+            lpy, lc, ls = self.expr(e.left, depth)
+            rpy, rc, rs = self.expr(e.right, depth)
+            cost = lc + rc + cm.cmp_cost(e.op)
+            if e.op == "=":
+                # Equality accepts any values; Python ``==`` on the wrapped
+                # value domain (ints/bools/strs) returns exactly what the
+                # interpreter stores.  Sort stays unknown so downstream
+                # boolean contexts re-check, as the interpreter does.
+                return f"({lpy} == {rpy})", cost, None
+            if ls not in (INT, BOOL):
+                lpy = self.materialize(lpy, depth)
+            if rs not in (INT, BOOL):
+                rpy = self.materialize(rpy, depth)
+            if ls not in (INT, BOOL):
+                self._check_ordered(lpy, e, depth)
+            if rs not in (INT, BOOL):
+                self._check_ordered(rpy, e, depth)
+            return f"({lpy} {e.op} {rpy})", cost, BOOL
+        if isinstance(e, Not):
+            opy, oc, osort = self.expr(e.operand, depth)
+            if osort != BOOL:
+                opy = self.materialize(opy, depth)
+                self._check_bool(opy, f"negation of non-boolean: {expr_to_str(e)}", depth)
+            return f"(not {opy})", oc + cm.neg, BOOL
+        if isinstance(e, BoolOp):
+            # Figure 2 evaluates both operands (no short-circuiting).
+            # Unknown-sort operands are materialised — forcing evaluation —
+            # and known-bool operands are side-effect free, so the Python
+            # connective below cannot skip an effect the semantics demands.
+            lpy, lc, ls = self.expr(e.left, depth)
+            lpy = self.materialize(lpy, depth) if ls != BOOL else self.force(lpy, depth)
+            rpy, rc, rs = self.expr(e.right, depth)
+            rpy = self.materialize(rpy, depth) if rs != BOOL else self.force(rpy, depth)
+            msg = f"connective on non-booleans: {expr_to_str(e)}"
+            if ls != BOOL:
+                self._check_bool(lpy, msg, depth)
+            if rs != BOOL:
+                self._check_bool(rpy, msg, depth)
+            return f"({lpy} {e.op} {rpy})", lc + rc + cm.logic_cost(e.op), BOOL
+        raise CompileError(f"unknown expression node {e!r}")
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, s: Stmt, depth: int) -> None:
+        cm = self.cm
+        if isinstance(s, Skip):
+            return
+        if isinstance(s, Assign):
+            py, cost, _sort = self.expr(s.expr, depth)
+            self.emit(depth, f"{self.slot(s.var)} = {py}")
+            self.pending += cost + cm.assign
+            return
+        if isinstance(s, Notify):
+            py, cost, sort = self.expr(s.expr, depth)
+            if sort != BOOL:
+                py = self.materialize(py, depth)
+                self._check_bool(py, f"notify of non-boolean: {stmt_to_str(s)}", depth)
+            else:
+                # The interpreter evaluates the value *before* the clash
+                # check; force bare reads so an unbound variable wins the
+                # race exactly as it does there.
+                py = self.force(py, depth)
+            self._check(
+                depth,
+                f"{s.pid!r} in _nots",
+                "_NotificationClash",
+                f"duplicate notification for {s.pid!r}",
+            )
+            self.emit(depth, f"_nots[{s.pid!r}] = {py}")
+            self.pending += cost + cm.notify
+            at = f"_cost + {self.pending}" if self.pending else "_cost"
+            self.emit(depth, f"_ncosts[{s.pid!r}] = {at}")
+            return
+        if isinstance(s, Seq):
+            for sub in s.stmts:
+                self.stmt(sub, depth)
+            return
+        if isinstance(s, If):
+            py, cost, sort = self.expr(s.cond, depth)
+            if sort != BOOL:
+                py = self.materialize(py, depth)
+                self._check_bool(py, f"branch on non-boolean: {expr_to_str(s.cond)}", depth)
+            self.pending += cost + cm.branch
+            entry = self.pending
+            self.emit(depth, f"if {py}:")
+            self._block(s.then, depth + 1, entry)
+            self.emit(depth, "else:")
+            self._block(s.orelse, depth + 1, entry)
+            self.pending = 0
+            return
+        if isinstance(s, While):
+            self.flush(depth)
+            fuel = stmt_size(s)  # one iteration's worth of interpreter ticks
+            self.emit(depth, "while True:")
+            d = depth + 1
+            self.emit(d, f"_fuel -= {fuel}")
+            self.emit(d, "if _fuel < 0:")
+            self.emit(d + 1, "raise _StepLimitExceeded('exceeded %d steps' % _budget)")
+            py, cost, sort = self.expr(s.cond, d)
+            if sort != BOOL:
+                py = self.materialize(py, d)
+                self._check_bool(py, f"loop on non-boolean: {expr_to_str(s.cond)}", d)
+            test_cost = cost + cm.branch
+            self.emit(d, f"if not {py}:")
+            if test_cost:
+                self.emit(d + 1, f"_cost += {test_cost}")
+            self.emit(d + 1, "break")
+            self.pending = test_cost
+            self.stmt(s.body, d)
+            self.flush(d)
+            return
+        raise CompileError(f"unknown statement node {s!r}")
+
+    def _block(self, s: Stmt, depth: int, entry_cost: int) -> None:
+        before = len(self.lines)
+        self.pending = entry_cost
+        self.stmt(s, depth)
+        self.flush(depth)
+        if len(self.lines) == before:
+            self.emit(depth, "pass")
+
+    # -- whole programs -----------------------------------------------------
+
+    def build(self, program: Program) -> str:
+        params = program.params
+        self.var_sorts = _static_var_sorts(program)
+        self.emit(0, "def _compiled_run(_args, _budget):")
+        if params:
+            have = " and ".join(f"{p!r} in _args" for p in params)
+            self.emit(1, f"if not ({have}):")
+            self.emit(
+                2,
+                "raise _InterpError('missing arguments: %s' % "
+                f"[_p for _p in {params!r} if _p not in _args])",
+            )
+            for p in params:
+                self.emit(1, f"{self.slot(p)} = _args[{p!r}]")
+        if _contains_loop(program.body):
+            self.emit(1, "_fuel = _budget")
+        self.emit(1, "_nots = {}")
+        self.emit(1, "_ncosts = {}")
+        self.emit(1, "_cost = 0")
+        if self.memoize:
+            self.emit(1, "_cache = {}")
+        self.emit(1, "try:")
+        before = len(self.lines)
+        self.stmt(program.body, 2)
+        self.flush(2)
+        if len(self.lines) == before:
+            self.emit(2, "pass")
+        # A read of a never-assigned slot compiles to a *global* load and
+        # raises plain NameError; UnboundLocalError (its subclass) covers
+        # slots assigned on some path only.  Catch the base class.
+        self.emit(1, "except NameError as _exc:")
+        self.emit(2, "raise _unbound_error(_exc, _SRC_NAMES) from None")
+        self.emit(1, "_loc = locals()")
+        self.emit(
+            1,
+            "_env = {_src: _loc[_py] for _py, _src in _SLOT_LIST if _py in _loc}",
+        )
+        self.emit(1, "return _env, _nots, _cost, _ncosts")
+        self.bindings["_SLOT_LIST"] = tuple(
+            (mangled, src) for src, mangled in self.slots.items()
+        )
+        self.bindings["_SRC_NAMES"] = {
+            mangled: src for src, mangled in self.slots.items()
+        }
+        return "\n".join(self.lines) + "\n"
+
+
+@dataclass
+class CompiledProgram:
+    """A program specialised to one (cost model, function table) pair.
+
+    ``source`` keeps the generated Python for debugging; ``run`` has the
+    exact observable contract of :meth:`Interpreter.run`.
+    """
+
+    program: Program
+    source: str
+    max_steps: int = DEFAULT_MAX_STEPS
+    _fn: Callable = field(default=None, repr=False, compare=False)
+
+    def run(self, args: Mapping[str, object], max_steps: int | None = None) -> RunResult:
+        env, notifications, cost, notification_costs = self._fn(
+            args, self.max_steps if max_steps is None else max_steps
+        )
+        return RunResult(
+            env=env,
+            notifications=notifications,
+            cost=cost,
+            notification_costs=notification_costs,
+        )
+
+
+def compile_program(
+    program: Program,
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    *,
+    memoize_calls: bool = False,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> CompiledProgram:
+    """Translate ``program`` into a specialised Python closure.
+
+    Raises :class:`CompileError` if translation is impossible (unknown
+    library function or AST node) — callers are expected to fall back to
+    the interpreter, which reproduces the corresponding dynamic error lazily.
+    """
+
+    emitter = _Emitter(functions, cost_model, memoize_calls)
+    try:
+        source = emitter.build(program)
+        code = compile(source, f"<compiled {program.pid}>", "exec")
+    except CompileError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - any emission bug becomes CompileError
+        raise CompileError(f"cannot compile {program.pid}: {exc}") from exc
+    namespace = dict(emitter.bindings)
+    exec(code, namespace)  # noqa: S102 - source is generated above, not user input
+    return CompiledProgram(
+        program=program,
+        source=source,
+        max_steps=max_steps,
+        _fn=namespace["_compiled_run"],
+    )
+
+
+# One cache bucket per function table (weak, so dropping a dataset frees
+# its compiled UDFs), keyed by the structural program identity and cost
+# model — whereMany's 50 UDFs compile once per job, not once per record.
+_CACHE: "weakref.WeakKeyDictionary[FunctionTable, dict]" = weakref.WeakKeyDictionary()
+
+
+def compile_cached(
+    program: Program,
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    *,
+    memoize_calls: bool = False,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> CompiledProgram:
+    """Memoising front end to :func:`compile_program`."""
+
+    per_table = _CACHE.get(functions)
+    if per_table is None:
+        per_table = _CACHE.setdefault(functions, {})
+    key = (program, cost_model, memoize_calls, max_steps)
+    compiled = per_table.get(key)
+    if compiled is None:
+        compiled = compile_program(
+            program,
+            functions,
+            cost_model,
+            memoize_calls=memoize_calls,
+            max_steps=max_steps,
+        )
+        per_table[key] = compiled
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    _CACHE.clear()
+
+
+def make_runner(
+    program: Program,
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    memoize_calls: bool = False,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Callable[[Mapping[str, object]], RunResult]:
+    """Return ``args -> RunResult`` for the chosen execution backend.
+
+    ``backend="compiled"`` (the default) uses the compile cache and falls
+    back to a private interpreter — with a logged warning — if compilation
+    fails for any reason, so callers always get a working runner.
+    """
+
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend == "compiled":
+        try:
+            return compile_cached(
+                program,
+                functions,
+                cost_model,
+                memoize_calls=memoize_calls,
+                max_steps=max_steps,
+            ).run
+        except Exception as exc:  # noqa: BLE001 - fallback must be unconditional
+            logger.warning(
+                "compiled backend unavailable for %s (%s); falling back to the interpreter",
+                program.pid,
+                exc,
+            )
+    interp = Interpreter(
+        functions, cost_model, max_steps=max_steps, memoize_calls=memoize_calls
+    )
+
+    def _run(args: Mapping[str, object]) -> RunResult:
+        return interp.run(program, args)
+
+    return _run

@@ -53,6 +53,7 @@ __all__ = [
     "InterpError",
     "NotificationClash",
     "StepLimitExceeded",
+    "combine_sequential",
     "run_program",
     "run_sequentially",
 ]
@@ -132,6 +133,19 @@ class Interpreter:
 
     # -- public API ---------------------------------------------------------
 
+    def _reset(self) -> None:
+        """Clear all per-run state (fuel, memo cache, latency bookkeeping).
+
+        Shared by :meth:`run` and :meth:`eval_expr` so both entry points
+        start from the same blank slate — in particular the call-memo cache
+        never leaks values from one evaluation into the next.
+        """
+
+        self._steps = 0
+        self._call_cache.clear()
+        self._elapsed = 0
+        self._notification_costs = {}
+
     def run(self, program: Program, args: Mapping[str, Value]) -> RunResult:
         """Run ``program`` on an argument binding covering all its params."""
 
@@ -139,10 +153,7 @@ class Interpreter:
         if missing:
             raise InterpError(f"missing arguments: {missing}")
         env: dict[str, Value] = {p: args[p] for p in program.params}
-        self._steps = 0
-        self._call_cache.clear()
-        self._elapsed = 0
-        self._notification_costs = {}
+        self._reset()
         notifications: dict[str, bool] = {}
         cost = self._exec(program.body, env, notifications)
         return RunResult(
@@ -155,7 +166,7 @@ class Interpreter:
     def eval_expr(self, expr: Expr, env: Mapping[str, Value]) -> tuple[Value, int]:
         """Evaluate one expression; returns ``(value, cost)``."""
 
-        self._steps = 0
+        self._reset()
         return self._eval(expr, env)
 
     # -- expressions ---------------------------------------------------------
@@ -309,29 +320,22 @@ def run_program(
     return Interpreter(functions, cost_model, **kwargs).run(program, args)
 
 
-def run_sequentially(
-    programs: list[Program],
-    args: Mapping[str, Value],
-    functions: FunctionTable,
-    cost_model: CostModel = DEFAULT_COST_MODEL,
-    **kwargs,
-) -> RunResult:
-    """Run several programs in sequence on the same input.
+def combine_sequential(results) -> RunResult:
+    """Fold per-program :class:`RunResult`\\ s into the sequential baseline.
 
-    This is the ``Π1; Π2; ...`` baseline of Definition 1.  Notification
-    environments are combined disjointly; local environments are unioned
-    with later programs winning on (formally disallowed, operationally
-    harmless) name collisions — the consolidator renames locals apart
-    itself, so notifications and costs are well-defined regardless.
+    Notification environments are combined disjointly; local environments
+    are unioned with later programs winning on (formally disallowed,
+    operationally harmless) name collisions.  Each program's broadcast
+    latencies are offset by the cost of everything that ran before it.
+    Shared by :func:`run_sequentially` and the compiled backend's
+    sequential driver, so both baselines combine results identically.
     """
 
-    interp = Interpreter(functions, cost_model, **kwargs)
     env: dict[str, Value] = {}
     notifications: dict[str, bool] = {}
     notification_costs: dict[str, int] = {}
     cost = 0
-    for p in programs:
-        r = interp.run(p, args)
+    for r in results:
         env.update(r.env)
         for pid, value in r.notifications.items():
             if pid in notifications:
@@ -348,3 +352,20 @@ def run_sequentially(
         cost=cost,
         notification_costs=notification_costs,
     )
+
+
+def run_sequentially(
+    programs: list[Program],
+    args: Mapping[str, Value],
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    **kwargs,
+) -> RunResult:
+    """Run several programs in sequence on the same input.
+
+    This is the ``Π1; Π2; ...`` baseline of Definition 1; see
+    :func:`combine_sequential` for how the outcomes are merged.
+    """
+
+    interp = Interpreter(functions, cost_model, **kwargs)
+    return combine_sequential(interp.run(p, args) for p in programs)

@@ -1,0 +1,70 @@
+"""Runtime support for the compiled execution backend.
+
+:mod:`repro.lang.compile` turns a Figure-1 program into Python source and
+``exec``s it into a closure.  The emitted code cannot carry arbitrary
+objects in its text, so everything it needs at run time — library-call
+wrappers that preserve the interpreter's error contract, memoising call
+wrappers, and the translation of a Python ``UnboundLocalError`` back into
+the language-level "unbound variable" error — is bound into the closure's
+global namespace from this module.
+
+Keeping these helpers separate from the compiler also keeps the import
+graph acyclic: the compiler imports the runtime, never the reverse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .interp import InterpError
+
+__all__ = ["make_lib_call", "make_memo_call", "unbound_error"]
+
+
+def make_lib_call(name: str, fn: Callable[..., object]) -> Callable[..., object]:
+    """Wrap a library function so failures surface as :class:`InterpError`.
+
+    Mirrors ``Interpreter._eval_call``: only the call itself is guarded —
+    argument evaluation errors propagate with their own diagnoses.
+    """
+
+    def _call(*vals: object) -> object:
+        try:
+            return fn(*vals)
+        except Exception as exc:  # noqa: BLE001 - surface as InterpError
+            raise InterpError(f"library call {name} failed: {exc}") from exc
+
+    return _call
+
+
+def make_memo_call(name: str, fn: Callable[..., object]) -> Callable[..., object]:
+    """A library-call wrapper memoising results within one run.
+
+    The cache dict is created afresh by the compiled prologue on every run,
+    matching the per-run scope of ``Interpreter``'s ``memoize_calls``.
+    Cost accounting is unaffected: the compiler folds the call's declared
+    cost in as a constant whether or not the value was cached.
+    """
+
+    def _call(cache: dict, *vals: object) -> object:
+        key = (name, vals)
+        if key in cache:
+            return cache[key]
+        try:
+            result = fn(*vals)
+        except Exception as exc:  # noqa: BLE001 - surface as InterpError
+            raise InterpError(f"library call {name} failed: {exc}") from exc
+        cache[key] = result
+        return result
+
+    return _call
+
+
+def unbound_error(exc: BaseException, source_names: Mapping[str, str]) -> InterpError:
+    """Translate a ``NameError``/``UnboundLocalError`` from compiled code
+    into the interpreter's unbound-variable error, mapping the mangled slot
+    name back to the source-program name."""
+
+    slot = getattr(exc, "name", None)
+    name = source_names.get(slot, slot)
+    return InterpError(f"unbound variable {name!r}")

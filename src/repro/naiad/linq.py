@@ -19,6 +19,7 @@ from typing import Any, Callable, Sequence
 from ..consolidation.algorithm import ConsolidationOptions
 from ..consolidation.divide_conquer import ConsolidationReport, consolidate_all
 from ..lang.ast import Program
+from ..lang.compile import DEFAULT_BACKEND
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..lang.functions import FunctionTable
 from .dataflow import Dataflow, RunResult, Vertex
@@ -44,16 +45,18 @@ class Query:
         program: Program,
         functions: FunctionTable,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        backend: str = DEFAULT_BACKEND,
     ) -> "Query":
-        return self._extend(Where(program, functions, cost_model))
+        return self._extend(Where(program, functions, cost_model, backend=backend))
 
     def where_many(
         self,
         programs: Sequence[Program],
         functions: FunctionTable,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        backend: str = DEFAULT_BACKEND,
     ) -> "Query":
-        return self._extend(WhereMany(programs, functions, cost_model))
+        return self._extend(WhereMany(programs, functions, cost_model, backend=backend))
 
     def where_consolidated(
         self,
@@ -61,8 +64,11 @@ class Query:
         pids: Sequence[str],
         functions: FunctionTable,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        backend: str = DEFAULT_BACKEND,
     ) -> "Query":
-        return self._extend(WhereConsolidated(merged, pids, functions, cost_model))
+        return self._extend(
+            WhereConsolidated(merged, pids, functions, cost_model, backend=backend)
+        )
 
     def select(self, fn: Callable[[Any], Any], cost: int = 3) -> "Query":
         return self._extend(Select(fn, cost))
@@ -108,11 +114,12 @@ def run_where_many(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     workers: int = 4,
     io_cost_per_record: int = 25,
+    backend: str = DEFAULT_BACKEND,
 ) -> RunResult:
     """Execute the ``whereMany`` baseline over the collection."""
 
     query = from_collection(records, io_cost_per_record).where_many(
-        programs, functions, cost_model
+        programs, functions, cost_model, backend=backend
     )
     return query.run(workers)
 
@@ -125,12 +132,13 @@ def run_where_consolidated(
     workers: int = 4,
     io_cost_per_record: int = 25,
     options: ConsolidationOptions | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> tuple[RunResult, ConsolidationReport]:
     """Consolidate the batch, execute ``whereConsolidated``, report both."""
 
     report = consolidate_all(list(programs), functions, cost_model, options)
     pids = [p.pid for p in programs]
     query = from_collection(records, io_cost_per_record).where_consolidated(
-        report.program, pids, functions, cost_model
+        report.program, pids, functions, cost_model, backend=backend
     )
     return query.run(workers), report

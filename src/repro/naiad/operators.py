@@ -22,9 +22,9 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..lang.ast import Program
+from ..lang.compile import DEFAULT_BACKEND, make_runner
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..lang.functions import FunctionTable
-from ..lang.interp import Interpreter
 from .dataflow import Vertex, Worker
 
 __all__ = [
@@ -54,13 +54,16 @@ class Where(Vertex):
         functions: FunctionTable,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         memoize_calls: bool = False,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         super().__init__(f"where[{program.pid}]")
         self.program = program
-        self.interp = Interpreter(functions, cost_model, memoize_calls=memoize_calls)
+        self.runner = make_runner(
+            program, functions, cost_model, backend=backend, memoize_calls=memoize_calls
+        )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
-        result = self.interp.run(self.program, _bind_args(self.program, record))
+        result = self.runner(_bind_args(self.program, record))
         worker.charge_udf(result.cost)
         if result.notification(self.program.pid):
             yield record
@@ -75,16 +78,22 @@ class WhereMany(Vertex):
         functions: FunctionTable,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         memoize_calls: bool = False,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         super().__init__(f"whereMany[{len(programs)}]")
         if not programs:
             raise ValueError("whereMany needs at least one UDF")
         self.programs = list(programs)
-        self.interp = Interpreter(functions, cost_model, memoize_calls=memoize_calls)
+        self.runners = [
+            make_runner(
+                p, functions, cost_model, backend=backend, memoize_calls=memoize_calls
+            )
+            for p in programs
+        ]
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
-        for program in self.programs:
-            result = self.interp.run(program, _bind_args(program, record))
+        for program, runner in zip(self.programs, self.runners):
+            result = runner(_bind_args(program, record))
             worker.charge_udf(result.cost)
             if result.notification(program.pid):
                 worker.notify(program.pid, record)
@@ -101,14 +110,17 @@ class WhereConsolidated(Vertex):
         functions: FunctionTable,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         memoize_calls: bool = False,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         super().__init__(f"whereConsolidated[{len(pids)}]")
         self.merged = merged
         self.pids = list(pids)
-        self.interp = Interpreter(functions, cost_model, memoize_calls=memoize_calls)
+        self.runner = make_runner(
+            merged, functions, cost_model, backend=backend, memoize_calls=memoize_calls
+        )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
-        result = self.interp.run(self.merged, _bind_args(self.merged, record))
+        result = self.runner(_bind_args(self.merged, record))
         worker.charge_udf(result.cost)
         for pid in self.pids:
             if result.notification(pid):

@@ -198,6 +198,34 @@ class TestCostAccounting:
         assert len(calls) == 1  # second call served from cache
         assert r_memo.cost == r_plain.cost  # accounting unchanged
 
+    def test_eval_expr_resets_memo_cache_between_evaluations(self):
+        """Back-to-back ``eval_expr`` calls must not share the memo cache.
+
+        Regression test: ``eval_expr`` used to reset only the step counter,
+        so a memoised call could return a stale value after the library
+        function's behaviour changed between evaluations.
+        """
+
+        calls = []
+        ft = FunctionTable(
+            [LibraryFunction("f", lambda x: calls.append(x) or len(calls), cost=10)]
+        )
+        interp = Interpreter(ft, memoize_calls=True)
+        v1, c1 = interp.eval_expr(call("f", 7), {})
+        v2, c2 = interp.eval_expr(call("f", 7), {})
+        assert calls == [7, 7]  # the second evaluation re-ran the function
+        assert (v1, v2) == (1, 2)
+        assert c1 == c2  # accounting identical either way
+
+    def test_eval_expr_resets_elapsed_latency_state(self, ft):
+        interp = Interpreter(ft)
+        p = program("p", (), assign("x", 1), notify("p", lt(var("x"), 2)))
+        interp.run(p, {})
+        interp.eval_expr(add(1, 2), {})
+        r = interp.run(p, {})
+        # Latency bookkeeping starts from zero on every entry point.
+        assert r.notification_costs["p"] == r.cost
+
 
 class TestSequentialExecution:
     def test_costs_and_notifications_add_up(self, ft):
