@@ -1,0 +1,55 @@
+"""Forward abstract interpretation over the Figure-1 IR.
+
+* :mod:`repro.analysis.static.framework` — the structured fixpoint engine
+  (``Seq``/``If``/``While`` with widening) parameterised by a
+  :class:`~repro.analysis.static.framework.Domain`,
+* :mod:`repro.analysis.static.values` — intervals, three-valued booleans
+  and the non-relational :class:`~repro.analysis.static.values.StaticEnv`,
+* :mod:`repro.analysis.static.domains` — interval/constant,
+  definite-assignment and reaching-notification domains,
+* :mod:`repro.analysis.static.costbound` — worst-case cost bounds with
+  trip-count inference,
+* :mod:`repro.analysis.static.lint` — the UDF linter behind ``repro lint``,
+* :mod:`repro.analysis.static.validate` — the consolidation translation
+  validator of Theorem 1's static half.
+"""
+
+from .domains import (
+    DefiniteAssignmentDomain,
+    IntervalConstDomain,
+    NotificationDomain,
+    widening_thresholds,
+)
+from .framework import Domain, analyze_program, analyze_stmt, loop_invariant_state
+from .costbound import (
+    constant_step,
+    program_cost_upper,
+    stmt_cost_upper,
+    trip_count_bound,
+)
+from .lint import Finding, LintReport, lint_program, lint_programs
+from .validate import StaticValidation, validate_consolidation
+from .values import Interval, StaticEnv
+
+__all__ = [
+    "Domain",
+    "analyze_program",
+    "analyze_stmt",
+    "loop_invariant_state",
+    "Interval",
+    "StaticEnv",
+    "IntervalConstDomain",
+    "DefiniteAssignmentDomain",
+    "NotificationDomain",
+    "widening_thresholds",
+    "constant_step",
+    "trip_count_bound",
+    "stmt_cost_upper",
+    "program_cost_upper",
+    "Finding",
+    "LintReport",
+    "lint_program",
+    "lint_programs",
+    "StaticValidation",
+    "validate_consolidation",
+]

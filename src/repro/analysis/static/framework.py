@@ -1,0 +1,177 @@
+"""A forward abstract-interpretation framework over the Figure-1 IR.
+
+The IR is *structured* (no gotos), so the classic worklist over a CFG
+collapses into a recursive interpreter with one fixpoint per ``While``:
+
+* ``Seq`` threads the state through its statements;
+* ``If`` analyses both arms under ``assume``-refined states and joins;
+* ``While`` iterates ``inv := inv ∇ (inv ⊔ post(body under inv ∧ guard))``
+  until stable, applying the domain's widening after
+  :data:`WIDEN_AFTER` ascending steps, then exits under ``inv ∧ ¬guard``.
+
+A :class:`Domain` packages the lattice and the transfer functions; the
+interval/constant, definite-assignment and reaching-notification domains
+in :mod:`repro.analysis.static.domains` plug in here, and so would any
+future one (the framework never inspects states).
+
+``visit`` observers receive ``(stmt, pre_state)`` for every statement in
+program order — inside loops they observe the *stabilised* invariant pass
+only, so a linter sees each syntactic statement exactly once with a state
+that covers every concrete visit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Optional, TypeVar
+
+from ...lang.ast import (
+    Assign,
+    Expr,
+    If,
+    Notify,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+)
+
+__all__ = [
+    "Domain",
+    "analyze_stmt",
+    "analyze_program",
+    "loop_invariant_state",
+    "WIDEN_AFTER",
+    "MAX_ITER",
+]
+
+S = TypeVar("S")
+
+WIDEN_AFTER = 3
+MAX_ITER = 64
+
+Visit = Callable[[Stmt, S], None]
+
+
+class Domain(Generic[S]):
+    """The lattice + transfer-function interface the interpreter drives.
+
+    Subclasses supply immutable-by-convention states (the framework never
+    mutates one — every transfer returns a fresh state or the input
+    unchanged) and must satisfy the usual soundness obligations: ``join``
+    over-approximates both inputs, ``widen`` additionally guarantees
+    finite ascending chains, and each ``transfer_*`` over-approximates the
+    concrete semantics of the statement kind it models.
+    """
+
+    # -- lattice ---------------------------------------------------------------
+
+    def initial(self, program: Program) -> S:
+        raise NotImplementedError
+
+    def bottom(self) -> S:
+        raise NotImplementedError
+
+    def is_bottom(self, state: S) -> bool:
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def widen(self, older: S, newer: S) -> S:
+        return self.join(older, newer)
+
+    def leq(self, a: S, b: S) -> bool:
+        raise NotImplementedError
+
+    # -- transfer functions ------------------------------------------------------
+
+    def transfer_assign(self, state: S, var: str, expr: Expr) -> S:
+        raise NotImplementedError
+
+    def transfer_notify(self, state: S, pid: str, expr: Expr) -> S:
+        return state
+
+    def transfer_assume(self, state: S, cond: Expr, positive: bool) -> S:
+        """Refine ``state`` by a branch outcome; bottom = branch infeasible."""
+
+        return state
+
+
+def analyze_stmt(
+    domain: Domain[S],
+    state: S,
+    stmt: Stmt,
+    visit: Optional[Visit] = None,
+) -> S:
+    """Abstractly execute ``stmt`` from ``state``; returns the post-state."""
+
+    if domain.is_bottom(state):
+        return state
+
+    if visit is not None and not isinstance(stmt, (Seq, Skip)):
+        visit(stmt, state)
+
+    if isinstance(stmt, Skip):
+        return state
+    if isinstance(stmt, Assign):
+        return domain.transfer_assign(state, stmt.var, stmt.expr)
+    if isinstance(stmt, Notify):
+        return domain.transfer_notify(state, stmt.pid, stmt.expr)
+    if isinstance(stmt, Seq):
+        for sub in stmt.stmts:
+            state = analyze_stmt(domain, state, sub, visit)
+            if domain.is_bottom(state):
+                return state
+        return state
+    if isinstance(stmt, If):
+        then_in = domain.transfer_assume(state, stmt.cond, True)
+        else_in = domain.transfer_assume(state, stmt.cond, False)
+        then_out = analyze_stmt(domain, then_in, stmt.then, visit)
+        else_out = analyze_stmt(domain, else_in, stmt.orelse, visit)
+        return domain.join(then_out, else_out)
+    if isinstance(stmt, While):
+        inv = _loop_invariant(domain, state, stmt)
+        if visit is not None:
+            # One observed pass under the stabilised invariant; its result
+            # is discarded (the fixpoint already absorbed it).
+            body_in = domain.transfer_assume(inv, stmt.cond, True)
+            analyze_stmt(domain, body_in, stmt.body, visit)
+        return domain.transfer_assume(inv, stmt.cond, False)
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def _loop_invariant(domain: Domain[S], entry: S, loop: While) -> S:
+    """The structured fixpoint: a state stable across loop iterations."""
+
+    inv = entry
+    for iteration in range(MAX_ITER):
+        body_in = domain.transfer_assume(inv, loop.cond, True)
+        body_out = analyze_stmt(domain, body_in, loop.body)
+        nxt = domain.join(entry, body_out)
+        if domain.leq(nxt, inv):
+            return inv
+        inv = domain.widen(inv, nxt) if iteration >= WIDEN_AFTER else nxt
+    # The widening contract guarantees convergence long before MAX_ITER;
+    # reaching it means a domain bug, so fail loudly rather than return an
+    # invariant that may not be inductive.
+    raise RuntimeError(
+        f"abstract fixpoint did not converge in {MAX_ITER} iterations "
+        f"({type(domain).__name__})"
+    )
+
+
+def loop_invariant_state(domain: Domain[S], entry: S, loop: While) -> S:
+    """Public access to the per-loop fixpoint (used by the cost bounder)."""
+
+    return _loop_invariant(domain, entry, loop)
+
+
+def analyze_program(
+    domain: Domain[S],
+    program: Program,
+    visit: Optional[Visit] = None,
+) -> S:
+    """Analyze a whole program from the domain's initial state."""
+
+    return analyze_stmt(domain, domain.initial(program), program.body, visit)

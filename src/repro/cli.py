@@ -14,6 +14,15 @@ Commands
     Run a single program on the given arguments and print its
     notifications, cost and per-query latencies.
 
+``lint [FILE ...]``
+    Run the static UDF linter (:mod:`repro.analysis.static.lint`) over
+    programs from files, or — with ``--domain`` and no files — over that
+    domain's generated query families.  ``--json`` emits machine-readable
+    output; ``--validate`` additionally consolidates each batch and runs
+    the abstract-interpretation translation validator over every merged
+    pair.  Exit status: 0 clean, 1 warnings only, 2 errors or a refuted
+    validation.
+
 ``figure9`` / ``figure10``
     Regenerate the paper's evaluation figures (textual rendering).
 
@@ -108,6 +117,73 @@ def cmd_consolidate(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json
+
+    from .analysis.static import lint_programs
+
+    dataset = _domain_dataset(args.domain)
+    functions = dataset.functions if dataset else FunctionTable()
+
+    # Batches are linted together but consolidated separately: families
+    # reuse pids, and consolidation requires disjoint notification ids.
+    batches: list[list] = []
+    if args.files:
+        batches.append(_load_programs(args.files))
+    elif dataset:
+        from .queries import DOMAIN_QUERIES
+
+        module = DOMAIN_QUERIES[args.domain]
+        families = [args.family] if args.family else list(module.FAMILY_NAMES)
+        for family in families:
+            batches.append(module.make_batch(dataset, family, n=args.n, seed=args.seed))
+    else:
+        raise SystemExit("nothing to lint: pass FILES or --domain")
+
+    reports = []
+    for batch in batches:
+        reports.extend(lint_programs(batch, functions))
+
+    validations = []
+    if args.validate:
+        options = ConsolidationOptions(static_validate=True)
+        for batch in batches:
+            if len(batch) < 2:
+                continue
+            validations.extend(
+                consolidate_all(batch, functions, options=options).validations
+            )
+
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    certified = sum(1 for v in validations if v.certified)
+
+    if args.json:
+        doc = {
+            "programs": len(reports),
+            "errors": errors,
+            "warnings": warnings,
+            "reports": [r.to_dict() for r in reports if r.findings],
+            "validations": [v.to_dict() for v in validations],
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        for r in reports:
+            for f in r.findings:
+                where = f" [{f.snippet}]" if f.snippet else ""
+                print(f"{r.program}: {f.severity}: {f.rule}: {f.message}{where}")
+        summary = f"# linted {len(reports)} programs: {errors} errors, {warnings} warnings"
+        if validations:
+            summary += f"; {certified}/{len(validations)} pair consolidations certified"
+        print(summary, file=sys.stderr)
+
+    if errors or any(v.refuted for v in validations):
+        return 2
+    if warnings:
+        return 1
+    return 0
+
+
 def cmd_run(args) -> int:
     (program,) = _load_programs([args.file])
     dataset = _domain_dataset(args.domain)
@@ -182,6 +258,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-smt", action="store_true", help="syntactic value numbering only")
     p.add_argument("--verify", type=int, default=0, metavar="N", help="check Theorem 1 on N rows")
     p.set_defaults(fn=cmd_consolidate)
+
+    p = sub.add_parser("lint", help="static UDF linter (+ optional translation validation)")
+    p.add_argument("files", nargs="*")
+    p.add_argument("--domain", help="evaluation domain supplying library functions")
+    p.add_argument("--family", help="lint one generated family (default: all)")
+    p.add_argument("--n", type=int, default=50, help="queries per generated family")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="also consolidate each batch and statically validate every pair",
+    )
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("run", help="run one program")
     p.add_argument("file")

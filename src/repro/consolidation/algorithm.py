@@ -64,7 +64,7 @@ from ..lang.visitors import (
 )
 from ..smt.solver import Solver
 from ..smt.terms import TRUE_F, cone_of_influence, fand, fiff, fnot
-from .simplifier import Context
+from .simplifier import Context, SimplifyStats
 
 __all__ = ["ConsolidationOptions", "Consolidator", "ConsolidationError"]
 
@@ -107,6 +107,13 @@ class ConsolidationOptions:
     ``simplify_loop_bodies``:
         Self-simplify loop bodies under their havoc context when a loop is
         stepped over.
+    ``static_validate``:
+        Run the abstract-interpretation translation validator
+        (:func:`repro.analysis.static.validate_consolidation`) over every
+        merged pair; a *refuted* certificate raises
+        :class:`ConsolidationError` (it would mean an unsound rewrite),
+        while ``unknown`` verdicts are recorded and left to the dynamic
+        checker.
     """
 
     if_rule_mode: str = "heuristic"
@@ -114,7 +121,8 @@ class ConsolidationOptions:
     use_smt: bool = True
     max_embed_size: int = 160
     simplify_loop_bodies: bool = True
-    invariant_engine: str = "probe"  # 'probe' | 'karr' | 'both' 
+    invariant_engine: str = "probe"  # 'probe' | 'karr' | 'both'
+    static_validate: bool = False
 
     def __post_init__(self) -> None:
         if self.if_rule_mode not in ("heuristic", "always_if3", "always_if5"):
@@ -130,13 +138,16 @@ class Consolidator:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         options: ConsolidationOptions | None = None,
         solver: Solver | None = None,
+        simplify_stats: SimplifyStats | None = None,
     ) -> None:
         self.functions = functions
         self.cost_model = cost_model
         self.options = options or ConsolidationOptions()
         self.solver = solver or Solver()
+        self.simplify_stats = simplify_stats or SimplifyStats()
         self.trace: list[str] = []
         self.last_duration: float = 0.0
+        self.last_validation = None
 
     # -- public API ---------------------------------------------------------
 
@@ -163,10 +174,29 @@ class Consolidator:
             cost_model=self.cost_model,
             psi=TRUE_F,
             use_smt=self.options.use_smt,
+            stats=self.simplify_stats,
         )
         body = self._omega(ctx, q1.body, q2.body)
         self.last_duration = time.perf_counter() - started
-        return Program(f"{p1.pid}&{p2.pid}", p1.params, body)
+        merged = Program(f"{p1.pid}&{p2.pid}", p1.params, body)
+        self.last_validation = None
+        if self.options.static_validate:
+            from ..analysis.static import validate_consolidation
+
+            self.last_validation = validate_consolidation(
+                [p1, p2],
+                merged,
+                self.functions,
+                self.cost_model,
+                engine=engine,
+                solver=self.solver,
+            )
+            if self.last_validation.refuted:
+                raise ConsolidationError(
+                    f"static validation refuted {merged.pid}: "
+                    f"{'; '.join(self.last_validation.details)}"
+                )
+        return merged
 
     # -- Ω′ ----------------------------------------------------------------------
 
@@ -217,22 +247,24 @@ class Consolidator:
         if ctx.entails_expr(cond):
             self.trace.append("If1")
             ctx.psi = ctx.assume(cond)
+            ctx.observe(cond)
             return self._omega(ctx, seq(head.then, cont), other)
 
         # If 2: the context refutes the test.
         if ctx.entails_expr(cond, negate=True):
             self.trace.append("If2")
             ctx.psi = ctx.assume(cond, negate=True)
+            ctx.observe(cond, negate=True)
             return self._omega(ctx, seq(head.orelse, cont), other)
 
         cond2 = ctx.simplify_bool(cond)
         if cond2 == TRUE:
             self.trace.append("If1")
-            return self._omega(ctx.branch(ctx.assume(cond)), seq(head.then, cont), other)
+            return self._omega(ctx.assuming(cond), seq(head.then, cont), other)
         if cond2 == FALSE:
             self.trace.append("If2")
             return self._omega(
-                ctx.branch(ctx.assume(cond, negate=True)), seq(head.orelse, cont), other
+                ctx.assuming(cond, negate=True), seq(head.orelse, cont), other
             )
 
         # Rule selection: If 3 vs the derived If 4 / If 5 (lines 14-18).
@@ -254,8 +286,8 @@ class Consolidator:
         if use_if4 and stmt_size(other) > self.options.max_embed_size:
             use_if4 = False
 
-        then_ctx = ctx.branch(ctx.assume(cond))
-        else_ctx = ctx.branch(ctx.assume(cond, negate=True))
+        then_ctx = ctx.assuming(cond)
+        else_ctx = ctx.assuming(cond, negate=True)
 
         if use_if3:
             # If 3: embed the remainder of *both* programs in the branches.
@@ -426,15 +458,24 @@ class Consolidator:
         if enc1 is None or enc2 is None:
             return None
 
+        # The env mirrors every direct Ψ replacement below: facts about the
+        # fused body's variables no longer hold mid-loop, so they are
+        # forgotten before the exit/body guard is observed.
+        fused_vars = assigned_vars(merged_body)
+
         # Loop 2: Ψ1 |= e1 <-> e2 — both loops run the same number of times.
         iff_goal = fiff(enc1, enc2)
         if ctx.solver.entails(cone_of_influence(psi1, iff_goal), iff_goal):
             self.trace.append("Loop2")
             body_ctx = ctx.branch(fand(psi1, enc1))
             body_ctx.bindings = {}
+            body_ctx.forget(fused_vars)
+            body_ctx.observe(e1)
             body = self._omega(body_ctx, s1, s2)
             ctx.psi = fand(psi1, fnot(enc1))
             ctx.bindings = {}
+            ctx.forget(fused_vars)
+            ctx.observe(e1, negate=True)
             rest = self._omega(ctx, cont1, cont2)
             return seq(While(e1, body), rest)
 
@@ -445,9 +486,13 @@ class Consolidator:
             self.trace.append("Loop3")
             body_ctx = ctx.branch(fand(psi1, enc2))
             body_ctx.bindings = {}
+            body_ctx.forget(fused_vars)
+            body_ctx.observe(e2)
             body = self._omega(body_ctx, s1, s2)
             ctx.psi = fand(psi1, fnot(enc2))
             ctx.bindings = {}
+            ctx.forget(fused_vars)
+            ctx.observe(e2, negate=True)
             remainder = seq(s1, While(e1, s1), cont1)
             rest = self._omega(ctx, remainder, cont2)
             return seq(While(e2, body), rest)
@@ -457,9 +502,13 @@ class Consolidator:
             self.trace.append("Loop3")
             body_ctx = ctx.branch(fand(psi1, enc1))
             body_ctx.bindings = {}
+            body_ctx.forget(fused_vars)
+            body_ctx.observe(e1)
             body = self._omega(body_ctx, s2, s1)
             ctx.psi = fand(psi1, fnot(enc1))
             ctx.bindings = {}
+            ctx.forget(fused_vars)
+            ctx.observe(e1, negate=True)
             remainder = seq(s2, While(e2, s2), cont2)
             rest = self._omega(ctx, remainder, cont1)
             return seq(While(e1, body), rest)
@@ -486,6 +535,7 @@ class Consolidator:
         havocked = ctx.engine.havoc(ctx.psi, body_vars)
         inv_ctx = ctx.branch(havocked)
         inv_ctx.bindings = {}
+        inv_ctx.forget(body_vars)
         cond2 = inv_ctx.simplify_bool(w.cond)
 
         if cond2 == FALSE:
@@ -495,7 +545,7 @@ class Consolidator:
             return SKIP
 
         if self.options.simplify_loop_bodies:
-            body_ctx = inv_ctx.branch(inv_ctx.assume(w.cond))
+            body_ctx = inv_ctx.assuming(w.cond)
             body_ctx.bindings = {}
             body = self._omega(body_ctx, w.body, SKIP)
         else:

@@ -34,6 +34,7 @@ from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..lang.functions import FunctionTable
 from ..smt.solver import Solver
 from .algorithm import ConsolidationOptions, Consolidator
+from .simplifier import SimplifyStats
 
 __all__ = ["ConsolidationReport", "consolidate_all"]
 
@@ -44,6 +45,11 @@ class ConsolidationReport:
 
     ``parallel``/``max_workers`` record how the driver was configured, so
     scalability experiments can attribute a duration to the pool it used.
+
+    ``simplify_stats`` aggregates the entailment fast-path counters
+    (abstract-env pre-check skips, memo hits) over every pair;
+    ``validations`` holds one static-validation certificate per pair when
+    ``options.static_validate`` is on.
     """
 
     program: Program
@@ -54,6 +60,14 @@ class ConsolidationReport:
     solver_stats: dict[str, int] = field(default_factory=dict)
     parallel: bool = False
     max_workers: int = 1
+    simplify_stats: dict = field(default_factory=dict)
+    validations: list = field(default_factory=list)
+
+    @property
+    def all_certified(self) -> bool:
+        """Every pair statically certified (vacuously True when not validated)."""
+
+        return all(v.certified for v in self.validations)
 
 
 def _cluster_by_features(programs: list[Program]) -> list[Program]:
@@ -112,15 +126,21 @@ def consolidate_all(
 
     solver = Solver()
     options = options or ConsolidationOptions()
+    stats = SimplifyStats()
+    validations: list = []
     started = time.perf_counter()
     pairs = 0
     depth = 0
 
     def merge(a: Program, b: Program) -> Program:
         # A fresh Consolidator per pair keeps traces separate; the shared
-        # solver keeps the entailment cache warm across pairs.
-        worker = Consolidator(functions, cost_model, options, solver)
-        return worker.consolidate(a, b)
+        # solver keeps the entailment cache warm across pairs, and the
+        # shared stats object aggregates fast-path counters batch-wide.
+        worker = Consolidator(functions, cost_model, options, solver, stats)
+        merged = worker.consolidate(a, b)
+        if worker.last_validation is not None:
+            validations.append(worker.last_validation)
+        return merged
 
     level = list(programs)
     if order == "fold":
@@ -153,4 +173,6 @@ def consolidate_all(
         solver_stats=solver.stats.snapshot(),
         parallel=parallel,
         max_workers=max_workers if parallel else 1,
+        simplify_stats=stats.snapshot(),
+        validations=validations,
     )

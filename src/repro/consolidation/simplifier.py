@@ -23,9 +23,11 @@ cost function, exactly as the (Int) rule demands.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Iterable
 
 from ..analysis.costmodel import expr_cost
 from ..analysis.sp import SpEngine
+from ..analysis.static.values import StaticEnv
 from ..lang.ast import (
     Arg,
     BinOp,
@@ -47,7 +49,7 @@ from ..smt.solver import Solver
 from ..smt.terms import Formula, TRUE_F, cone_of_influence, eq_f, fiff, fnot
 from ..lang.functions import BOOL
 
-__all__ = ["Context", "fold_expr", "ir_linear", "ir_from_linear"]
+__all__ = ["Context", "SimplifyStats", "fold_expr", "ir_linear", "ir_from_linear"]
 
 _MAX_CALL_CANDIDATES = 8
 _MAX_RECENT_ASSIGNS = 12
@@ -209,6 +211,32 @@ def fold_expr(e: Expr) -> Expr:
 
 
 @dataclass
+class SimplifyStats:
+    """Counters for the entailment fast paths (shared across a whole batch).
+
+    ``entail_queries`` counts semantic questions asked of the context;
+    ``precheck_skips`` the ones the abstract environment decided without
+    the solver; ``memo_hits`` the repeats answered from the ``(Ψ, e)``
+    memo; ``smt_queries`` the remainder that actually reached the solver.
+    """
+
+    entail_queries: int = 0
+    smt_queries: int = 0
+    precheck_skips: int = 0
+    memo_hits: int = 0
+
+    def snapshot(self) -> dict:
+        total = self.entail_queries
+        return {
+            "entail_queries": total,
+            "smt_queries": self.smt_queries,
+            "precheck_skips": self.precheck_skips,
+            "memo_hits": self.memo_hits,
+            "memo_hit_rate": (self.memo_hits / total) if total else 0.0,
+        }
+
+
+@dataclass
 class Context:
     """Everything the judgments of Figures 3/5 thread through a derivation.
 
@@ -216,6 +244,15 @@ class Context:
     expressions to the cheap expression (usually a variable) holding their
     value — the candidate generator for the (Int) rule.  Contexts are
     value-like: use :meth:`branch` when exploring conditional arms.
+
+    ``env`` mirrors ``psi`` in the interval/constant abstract domain: every
+    ``assume``/``assign``/``havoc`` applied to ``psi`` is applied to ``env``
+    too, so ``env`` always over-approximates the states satisfying the path
+    condition.  That makes two solver fast paths sound: an env-decided
+    predicate settles ``Ψ ⊨ e`` without SMT, and env-decided truth of ``e``
+    means ``Ψ ⊨ ¬e`` is hopeless (and vice versa).  ``stats`` and
+    ``entail_memo`` are shared by reference across :meth:`branch` — the
+    memo keys include ``psi``, so sharing across branches stays sound.
     """
 
     engine: SpEngine
@@ -227,6 +264,9 @@ class Context:
     call_sites: dict[str, list[tuple[Expr, Call]]] = field(default_factory=dict)
     recent_assigns: list[tuple[str, Expr]] = field(default_factory=list)
     use_smt: bool = True
+    env: StaticEnv = field(default_factory=StaticEnv)
+    stats: SimplifyStats = field(default_factory=SimplifyStats)
+    entail_memo: dict = field(default_factory=dict)
 
     # -- plumbing -------------------------------------------------------------
 
@@ -238,7 +278,25 @@ class Context:
             defs=dict(self.defs),
             call_sites={k: list(v) for k, v in self.call_sites.items()},
             recent_assigns=list(self.recent_assigns),
+            env=self.env.copy(),
         )
+
+    def observe(self, e: Expr, *, negate: bool = False) -> None:
+        """Mirror an assumed branch outcome into the abstract environment."""
+
+        self.env.assume(e, positive=not negate)
+
+    def forget(self, names: Iterable[str]) -> None:
+        """Drop abstract facts about ``names`` (the env side of a havoc)."""
+
+        self.env.havoc(names)
+
+    def assuming(self, e: Expr, *, negate: bool = False) -> "Context":
+        """A branch context with both ``psi`` and ``env`` refined by ``e``."""
+
+        out = self.branch(self.assume(e, negate=negate))
+        out.observe(e, negate=negate)
+        return out
 
     def cost(self, e: Expr) -> int:
         return expr_cost(e, self.engine.functions, self.cost_model)
@@ -249,17 +307,39 @@ class Context:
         The hypothesis is pruned to the goal's cone of influence: sound
         (only weakening), and it keeps queries small and cacheable however
         large the accumulated context has grown.
+
+        Two fast paths run first: a ``(Ψ, e, negate)`` memo, and the
+        abstract environment — when ``env`` decides ``e`` either way, the
+        answer follows without SMT (env truth of ``e`` proves the goal or
+        shows it unprovable, because env over-approximates Ψ's states).
         """
 
         if not self.use_smt:
             return False
+        self.stats.entail_queries += 1
+        key = (self.psi, e, negate)
+        cached = self.entail_memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        value = self.env.eval_bool(e)
+        if value is not None:
+            self.stats.precheck_skips += 1
+            result = (value is True) if not negate else (value is False)
+            self.entail_memo[key] = result
+            return result
         enc = self.engine.encode_bool(e)
         if enc is None:
+            self.entail_memo[key] = False
             return False
+        self.stats.smt_queries += 1
         hyp = cone_of_influence(self.psi, enc)
         if negate:
-            return self.solver.entails_not(hyp, enc)
-        return self.solver.entails(hyp, enc)
+            result = self.solver.entails_not(hyp, enc)
+        else:
+            result = self.solver.entails(hyp, enc)
+        self.entail_memo[key] = result
+        return result
 
     def provably_equal(self, a: Expr, b: Expr) -> bool:
         """``Ψ |= a = b`` for two integer/string-sorted expressions."""
@@ -268,12 +348,45 @@ class Context:
             return True
         if not self.use_smt:
             return False
+        self.stats.entail_queries += 1
+        key = (self.psi, "=", a, b)
+        cached = self.entail_memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        result = self._precheck_equal(a, b)
+        if result is not None:
+            self.stats.precheck_skips += 1
+            self.entail_memo[key] = result
+            return result
         ta = self.engine.encode_int(a)
         tb = self.engine.encode_int(b)
         if ta is None or tb is None:
+            self.entail_memo[key] = False
             return False
+        self.stats.smt_queries += 1
         goal = eq_f(ta, tb)
-        return self.solver.entails(cone_of_influence(self.psi, goal), goal)
+        result = self.solver.entails(cone_of_influence(self.psi, goal), goal)
+        self.entail_memo[key] = result
+        return result
+
+    def _precheck_equal(self, a: Expr, b: Expr) -> bool | None:
+        """Env-decided equality: constant intervals or disjoint ranges/sets."""
+
+        ia = self.env.eval_int(a)
+        ib = self.env.eval_int(b)
+        if ia.is_const and ib.is_const:
+            return ia.lo == ib.lo
+        if ia.never_overlaps(ib):
+            return False
+        sa = self.env.eval_str(a)
+        sb = self.env.eval_str(b)
+        if sa is not None and sb is not None:
+            if len(sa) == 1 and sa == sb:
+                return True
+            if not (sa & sb):
+                return False
+        return None
 
     # -- table maintenance ------------------------------------------------------
 
@@ -297,6 +410,7 @@ class Context:
         for holders in self.call_sites.values():
             holders[:] = [(h, c) for h, c in holders if name not in expr_vars(h)]
         self.recent_assigns = [(n, r) for n, r in self.recent_assigns if n != name]
+        self.env.havoc((name,))
 
     def kill_vars(self, names: set[str]) -> None:
         for n in names:
@@ -321,6 +435,7 @@ class Context:
         if len(self.recent_assigns) > _MAX_RECENT_ASSIGNS:
             del self.recent_assigns[0]
         self.psi = self.engine.assign(self.psi, var, rhs)
+        self.env.assign(var, rhs)
 
     def _record_derived_binding(self, target: Expr, rhs: Expr) -> None:
         """Solve ``x := const + k*c + rest`` for a lone unit-coefficient call.
@@ -513,12 +628,28 @@ class Context:
             return True
         if not self.use_smt:
             return False
+        self.stats.entail_queries += 1
+        key = (self.psi, "<->", a, b)
+        cached = self.entail_memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        va = self.env.eval_bool(a)
+        vb = self.env.eval_bool(b)
+        if va is not None and vb is not None:
+            self.stats.precheck_skips += 1
+            self.entail_memo[key] = va == vb
+            return va == vb
         fa = self.engine.encode_bool(a)
         fb = self.engine.encode_bool(b)
         if fa is None or fb is None:
+            self.entail_memo[key] = False
             return False
+        self.stats.smt_queries += 1
         goal = fiff(fa, fb)
-        return self.solver.entails(cone_of_influence(self.psi, goal), goal)
+        result = self.solver.entails(cone_of_influence(self.psi, goal), goal)
+        self.entail_memo[key] = result
+        return result
 
     def simplify_bool(self, e: Expr) -> Expr:
         # Bool 1 / Bool 2: the whole predicate is decided by the context.

@@ -49,9 +49,17 @@ class SoundnessReport:
 
     @property
     def speedup(self) -> float:
-        if self.consolidated_cost == 0:
-            return float("inf") if self.sequential_cost else 1.0
-        return self.sequential_cost / self.consolidated_cost
+        """Sequential-over-consolidated cost ratio, always finite.
+
+        Costs are integer cost-clock units, so a zero consolidated cost is
+        clamped to one unit rather than returning ``inf`` (which poisons
+        the averages and ``:.2f`` renderings downstream).  Zero work on
+        both sides is a speedup of exactly 1.
+        """
+
+        if self.sequential_cost == 0 and self.consolidated_cost == 0:
+            return 1.0
+        return self.sequential_cost / max(1, self.consolidated_cost)
 
 
 def check_soundness(

@@ -60,7 +60,9 @@ class Figure9Report:
         total = self.total_speedups
         cons = [r.consolidation_seconds for r in self.results]
         frac = [r.consolidation_fraction for r in self.results]
+        skips = sum(r.smt_skips for r in self.results)
         return {
+            "smt_precheck_skips": skips,
             "udf_min": min(udf),
             "udf_max": max(udf),
             "udf_avg": sum(udf) / len(udf),

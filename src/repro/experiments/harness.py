@@ -58,6 +58,15 @@ class ExperimentResult:
     consolidation_seconds: float
     merged_program_size: int = 0
     pair_consolidations: int = 0
+    simplify_stats: dict = field(default_factory=dict)
+    validations_certified: int = 0
+    validations_total: int = 0
+
+    @property
+    def smt_skips(self) -> int:
+        """Entailment queries decided without the solver (pre-check skips)."""
+
+        return int(self.simplify_stats.get("precheck_skips", 0))
 
     @property
     def udf_speedup(self) -> float:
@@ -94,6 +103,10 @@ class ExperimentResult:
             "total_speedup": round(self.total_speedup, 2),
             "consolidation_s": round(self.consolidation_seconds, 3),
             "consolidation_frac": round(self.consolidation_fraction, 4),
+            "smt_skips": self.smt_skips,
+            "smt_queries": int(self.simplify_stats.get("smt_queries", 0)),
+            "memo_hits": int(self.simplify_stats.get("memo_hits", 0)),
+            "validated": f"{self.validations_certified}/{self.validations_total}",
         }
 
 
@@ -161,4 +174,7 @@ def run_experiment(
         consolidation_seconds=report.duration,
         merged_program_size=stmt_size(report.program.body),
         pair_consolidations=report.pair_consolidations,
+        simplify_stats=dict(report.simplify_stats),
+        validations_certified=sum(1 for v in report.validations if v.certified),
+        validations_total=len(report.validations),
     )

@@ -606,6 +606,28 @@ def clear_compile_cache() -> None:
     _CACHE.clear()
 
 
+def _diagnose_compile_failure(program: Program, functions: FunctionTable) -> str:
+    """Best-effort static explanation for a failed translation.
+
+    The silent half of the compiled backend's contract — "any failure falls
+    back to the interpreter" — hides *why* a program was rejected.  Running
+    the UDF linter over the program turns the common causes (calls to
+    functions absent from the table, sort errors the interpreter would only
+    hit at run time) into named findings appended to the fallback warning.
+    """
+
+    try:
+        from ..analysis.static.lint import lint_program
+
+        findings = lint_program(program, functions).errors
+    except Exception:  # noqa: BLE001 - diagnosis must never mask the fallback
+        return ""
+    if not findings:
+        return ""
+    notes = "; ".join(f"{f.rule}: {f.message}" for f in findings[:3])
+    return f" [static diagnosis: {notes}]"
+
+
 def make_runner(
     program: Program,
     functions: FunctionTable,
@@ -635,9 +657,10 @@ def make_runner(
             ).run
         except Exception as exc:  # noqa: BLE001 - fallback must be unconditional
             logger.warning(
-                "compiled backend unavailable for %s (%s); falling back to the interpreter",
+                "compiled backend unavailable for %s (%s); falling back to the interpreter%s",
                 program.pid,
                 exc,
+                _diagnose_compile_failure(program, functions),
             )
     interp = Interpreter(
         functions, cost_model, max_steps=max_steps, memoize_calls=memoize_calls

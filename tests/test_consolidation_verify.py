@@ -103,3 +103,28 @@ class TestDetection:
         assert report.ok
         assert report.speedup > 1.0
         assert report.consolidated_cost < report.sequential_cost
+
+
+class TestSpeedupEdgeCases:
+    """Regression: ``speedup`` must be finite and well-defined at zero cost."""
+
+    def test_zero_cost_both_sides_is_unity(self):
+        from repro.consolidation.verify import SoundnessReport
+
+        report = SoundnessReport(inputs_checked=3, sequential_cost=0, consolidated_cost=0)
+        assert report.speedup == 1.0
+
+    def test_zero_consolidated_cost_stays_finite(self):
+        from repro.consolidation.verify import SoundnessReport
+
+        report = SoundnessReport(inputs_checked=3, sequential_cost=120, consolidated_cost=0)
+        assert report.speedup == 120.0
+        assert report.speedup != float("inf")
+
+    def test_zero_cost_consolidation_end_to_end(self):
+        # Programs with empty bodies cost nothing on either side; the
+        # checker must report a clean run with speedup exactly 1.
+        empty = program("z", ("row",), notify("z", lt(arg("row"), arg("row"))))
+        report = check_soundness([empty], empty, FT, [{"row": r} for r in range(3)])
+        assert report.ok
+        assert report.speedup == 1.0
