@@ -7,7 +7,7 @@ between their tests.  Run with::
     python examples/quickstart.py
 """
 
-from repro import Consolidator, translate_udf
+from repro import Consolidator, ExecutionConfig, Telemetry, consolidate_all, translate_udf
 from repro.consolidation import check_soundness
 from repro.lang import FunctionTable, LibraryFunction, STR, program_to_str
 
@@ -75,6 +75,20 @@ def main() -> None:
         f"\nchecked {report.inputs_checked} inputs: identical results, "
         f"cost {report.sequential_cost} -> {report.consolidated_cost} "
         f"({report.speedup:.2f}x speedup)"
+    )
+
+    # -----------------------------------------------------------------------
+    # 5. Observability: the same consolidation through the batch driver,
+    #    with a live telemetry on the config capturing what the optimiser
+    #    did (the CLI's --metrics-out / --trace flags write this to disk).
+    # -----------------------------------------------------------------------
+    cfg = ExecutionConfig(telemetry=Telemetry.capture())
+    consolidate_all([p1, p2], functions, config=cfg)
+    reg = cfg.telemetry.metrics
+    print(
+        f"telemetry: {reg.counter('consolidation_pairs_total').value:.0f} pair merge(s), "
+        f"{reg.counter('smt_checks').value:.0f} SMT checks, "
+        f"{reg.counter('smt_cache_hits').value:.0f} cache hits"
     )
 
 

@@ -14,21 +14,38 @@ Public API tour:
   ``whereMany`` / ``whereConsolidated`` operators (Section 6.1);
 * :mod:`repro.datasets` / :mod:`repro.queries` — the five evaluation
   domains and their query families (Section 6.2);
-* :mod:`repro.experiments` — Figure 9 / Figure 10 harnesses.
+* :mod:`repro.experiments` — Figure 9 / Figure 10 harnesses;
+* :mod:`repro.config` / :mod:`repro.telemetry` — the one-object run
+  configuration (:class:`ExecutionConfig`) and the observability layer
+  (:class:`Telemetry`, metrics registry, tracing spans, sinks).
 
 Quick start::
 
-    from repro import consolidate, translate_udf
+    import repro
 
-    merged = consolidate([udf1, udf2], functions)
+    ds = repro.generate_weather(cities=50)
+    programs = [repro.parse(src1), repro.parse(src2)]
+    merged = repro.consolidate(programs, ds.functions)
+
+    cfg = repro.ExecutionConfig(telemetry=repro.Telemetry.capture())
+    result = repro.run_where_many(ds.rows, programs, ds.functions, config=cfg)
 """
 
+from .config import ExecutionConfig
 from .consolidation import (
     ConsolidationOptions,
     ConsolidationReport,
     Consolidator,
     check_soundness,
     consolidate_all,
+)
+from .datasets import (
+    Dataset,
+    generate_flights,
+    generate_news,
+    generate_stocks,
+    generate_twitter,
+    generate_weather,
 )
 from .frontend import TranslationError, translate_source, translate_udf
 from .lang import (
@@ -42,9 +59,122 @@ from .lang import (
     run_program,
     run_sequentially,
 )
-from .naiad import from_collection, run_where_consolidated, run_where_many
+from .lang.builder import (
+    add,
+    and_,
+    arg,
+    assign,
+    block,
+    call,
+    conj,
+    disj,
+    eq,
+    ge,
+    gt,
+    if_,
+    ite_notify,
+    le,
+    lift,
+    lt,
+    mul,
+    ne,
+    not_,
+    notify,
+    or_,
+    program,
+    sub,
+    var,
+    while_,
+)
+from .naiad import Query, from_collection, run_where_consolidated, run_where_many
+from .telemetry import (
+    InMemorySink,
+    JsonlFileSink,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    PrometheusTextSink,
+    Telemetry,
+    Tracer,
+    prometheus_text,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# ``parse`` is the friendly alias for the concrete-syntax parser.
+parse = parse_program
+
+__all__ = [
+    # configuration + observability
+    "ExecutionConfig",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "Tracer",
+    "InMemorySink",
+    "JsonlFileSink",
+    "PrometheusTextSink",
+    "prometheus_text",
+    # language
+    "Program",
+    "CostModel",
+    "FunctionTable",
+    "LibraryFunction",
+    "Interpreter",
+    "parse",
+    "parse_program",
+    "program_to_str",
+    "run_program",
+    "run_sequentially",
+    # program builder
+    "add",
+    "and_",
+    "arg",
+    "assign",
+    "block",
+    "call",
+    "conj",
+    "disj",
+    "eq",
+    "ge",
+    "gt",
+    "if_",
+    "ite_notify",
+    "le",
+    "lift",
+    "lt",
+    "mul",
+    "ne",
+    "not_",
+    "notify",
+    "or_",
+    "program",
+    "sub",
+    "var",
+    "while_",
+    # python frontend
+    "translate_udf",
+    "translate_source",
+    "TranslationError",
+    # consolidation
+    "consolidate",
+    "consolidate_all",
+    "ConsolidationOptions",
+    "ConsolidationReport",
+    "Consolidator",
+    "check_soundness",
+    # dataflow
+    "Query",
+    "from_collection",
+    "run_where_many",
+    "run_where_consolidated",
+    # datasets
+    "Dataset",
+    "generate_weather",
+    "generate_flights",
+    "generate_news",
+    "generate_twitter",
+    "generate_stocks",
+]
 
 
 def consolidate(programs, functions, **kwargs):

@@ -25,8 +25,25 @@ Commands
 
 ``figure9`` / ``figure10``
     Regenerate the paper's evaluation figures (textual rendering).
+    ``figure9 --domain NAME`` (repeatable) restricts to chosen domains.
 
 ``latency`` — run the Section 8 latency experiment on a stock batch.
+
+Observability
+-------------
+
+Two top-level flags work on every command:
+
+``--metrics-out PATH``
+    Capture metrics for the whole invocation and write one JSON artifact:
+    ``{"command", "rows", "metrics", "spans"}`` — per-operator dataflow
+    counters, consolidation rule counts, SMT query counts and latency
+    histogram, compiled-backend cache stats.  ``PATH`` ending in ``.prom``
+    writes Prometheus text exposition instead.
+
+``--trace``
+    Additionally record nested spans (dataflow runs, consolidation
+    batches/pairs) into the artifact.
 """
 
 from __future__ import annotations
@@ -34,12 +51,26 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .config import EXECUTORS, ExecutionConfig
 from .consolidation import ConsolidationOptions, check_soundness, consolidate_all
 from .lang import FunctionTable, parse_program, program_to_str
 from .lang.compile import BACKENDS, DEFAULT_BACKEND, make_runner
 from .lang.parser import ParseError
+from .telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["main"]
+
+
+def _config_from_args(args) -> ExecutionConfig:
+    """One ExecutionConfig for the whole CLI invocation."""
+
+    telemetry = getattr(args, "_telemetry", NULL_TELEMETRY)
+    return ExecutionConfig(
+        backend=args.backend,
+        executor=getattr(args, "executor", None) or "serial",
+        max_workers=getattr(args, "max_workers", None) or 4,
+        telemetry=telemetry,
+    )
 
 
 def _domain_dataset(name: str | None):
@@ -96,11 +127,14 @@ def cmd_consolidate(args) -> int:
         enable_loop_rules=not args.no_loops,
         use_smt=not args.no_smt,
     )
-    report = consolidate_all(programs, functions, options=options)
+    report = consolidate_all(
+        programs, functions, options=options, config=_config_from_args(args)
+    )
     print(program_to_str(report.program))
     print(
         f"\n# consolidated {report.num_inputs} programs in {report.duration:.3f}s "
-        f"({report.pair_consolidations} pair merges, depth {report.tree_depth})",
+        f"({report.pair_consolidations} pair merges, depth {report.tree_depth}, "
+        f"executor {report.executor})",
         file=sys.stderr,
     )
     if args.verify and dataset:
@@ -147,11 +181,12 @@ def cmd_lint(args) -> int:
     validations = []
     if args.validate:
         options = ConsolidationOptions(static_validate=True)
+        cfg = _config_from_args(args)
         for batch in batches:
             if len(batch) < 2:
                 continue
             validations.extend(
-                consolidate_all(batch, functions, options=options).validations
+                consolidate_all(batch, functions, options=options, config=cfg).validations
             )
 
     errors = sum(len(r.errors) for r in reports)
@@ -189,7 +224,10 @@ def cmd_run(args) -> int:
     dataset = _domain_dataset(args.domain)
     functions = dataset.functions if dataset else FunctionTable()
     bindings = _parse_args_option(args.args)
-    runner = make_runner(program, functions, backend=args.backend)
+    cfg = _config_from_args(args)
+    runner = make_runner(
+        program, functions, backend=cfg.backend, telemetry=cfg.telemetry
+    )
     result = runner(bindings)
     for pid in sorted(result.notifications):
         print(
@@ -202,22 +240,37 @@ def cmd_run(args) -> int:
 
 def cmd_figure9(args) -> int:
     from .experiments import render_figure9, run_figure9
+    from .experiments.figure9 import DOMAIN_ORDER
 
+    domains = args.domain or DOMAIN_ORDER
     report = run_figure9(
-        n_udfs=args.n_udfs, scale=args.scale, seed=args.seed, backend=args.backend
+        n_udfs=args.n_udfs,
+        scale=args.scale,
+        seed=args.seed,
+        domains=domains,
+        config=_config_from_args(args),
     )
     print(render_figure9(report))
+    args._artifact["rows"] = [
+        dict(r.row(), executor=r.executor, metrics=r.metrics) for r in report.results
+    ]
     return 0
 
 
 def cmd_figure10(args) -> int:
+    from dataclasses import asdict
+
     from .experiments import render_figure10, run_figure10
 
     sweep = tuple(int(x) for x in args.sweep.split(","))
     report = run_figure10(
-        sweep=sweep, articles=args.articles, seed=args.seed, backend=args.backend
+        sweep=sweep,
+        articles=args.articles,
+        seed=args.seed,
+        config=_config_from_args(args),
     )
     print(render_figure10(report))
+    args._artifact["rows"] = [asdict(p) for p in report.points]
     return 0
 
 
@@ -230,10 +283,11 @@ def cmd_latency(args) -> int:
     programs = DOMAIN_QUERIES["stock"].make_batch(dataset, "Q1", n=args.n_udfs, seed=args.seed)
     priority = (programs[args.priority_index].pid,)
     report = run_latency_experiment(
-        dataset, programs, priority=priority, row_limit=30, backend=args.backend
+        dataset, programs, priority=priority, row_limit=30, config=_config_from_args(args)
     )
     for key, value in report.summary().items():
         print(f"{key:24s} {value}")
+    args._artifact["rows"] = [report.summary()]
     return 0
 
 
@@ -248,18 +302,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="UDF execution backend (default: %(default)s; 'compiled' falls "
         "back to the interpreter, with a logged warning, if translation fails)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="capture metrics and write one JSON artifact (or Prometheus "
+        "text exposition when PATH ends in .prom)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also record nested spans into the metrics artifact",
+    )
+    # The observability flags are also accepted after the subcommand
+    # (``repro figure9 --metrics-out m.json``); SUPPRESS keeps the
+    # subparser from clobbering a value given before it.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--metrics-out", metavar="PATH", default=argparse.SUPPRESS)
+    common.add_argument(
+        "--trace", action="store_true", default=argparse.SUPPRESS
+    )
+    common.add_argument(
+        "--backend", choices=BACKENDS, default=argparse.SUPPRESS
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("consolidate", help="merge programs from files")
+    p = sub.add_parser("consolidate", help="merge programs from files", parents=[common])
     p.add_argument("files", nargs="+")
     p.add_argument("--domain", help="evaluation domain supplying library functions")
     p.add_argument("--if-rule-mode", default="heuristic", choices=["heuristic", "always_if3", "always_if5"])
     p.add_argument("--no-loops", action="store_true", help="disable Loop 2/3 fusion")
     p.add_argument("--no-smt", action="store_true", help="syntactic value numbering only")
     p.add_argument("--verify", type=int, default=0, metavar="N", help="check Theorem 1 on N rows")
+    p.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="how pair merges run: serial (default), thread, or process",
+    )
+    p.add_argument("--max-workers", type=int, default=None, help="pool size for thread/process executors")
     p.set_defaults(fn=cmd_consolidate)
 
-    p = sub.add_parser("lint", help="static UDF linter (+ optional translation validation)")
+    p = sub.add_parser("lint", help="static UDF linter (+ optional translation validation)", parents=[common])
     p.add_argument("files", nargs="*")
     p.add_argument("--domain", help="evaluation domain supplying library functions")
     p.add_argument("--family", help="lint one generated family (default: all)")
@@ -273,25 +356,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_lint)
 
-    p = sub.add_parser("run", help="run one program")
+    p = sub.add_parser("run", help="run one program", parents=[common])
     p.add_argument("file")
     p.add_argument("--domain")
     p.add_argument("--args", default="", help="comma-separated name=value bindings")
     p.set_defaults(fn=cmd_run)
 
-    p = sub.add_parser("figure9", help="regenerate Figure 9")
+    p = sub.add_parser("figure9", help="regenerate Figure 9", parents=[common])
     p.add_argument("--n-udfs", type=int, default=50)
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--domain",
+        action="append",
+        choices=["weather", "flight", "news", "twitter", "stock"],
+        help="restrict to one domain (repeatable; default: all five)",
+    )
     p.set_defaults(fn=cmd_figure9)
 
-    p = sub.add_parser("figure10", help="regenerate Figure 10")
+    p = sub.add_parser("figure10", help="regenerate Figure 10", parents=[common])
     p.add_argument("--sweep", default="10,25,50,100")
     p.add_argument("--articles", type=int, default=400)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=cmd_figure10)
 
-    p = sub.add_parser("latency", help="Section 8 latency experiment")
+    p = sub.add_parser("latency", help="Section 8 latency experiment", parents=[common])
     p.add_argument("--n-udfs", type=int, default=10)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--priority-index", type=int, default=7)
@@ -302,7 +391,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    args._telemetry = (
+        Telemetry.capture(trace=args.trace)
+        if (args.metrics_out or args.trace)
+        else NULL_TELEMETRY
+    )
+    args._artifact = {"command": args.command}
+    status = args.fn(args)
+    if args.metrics_out:
+        _write_metrics_artifact(args.metrics_out, args._telemetry, args._artifact)
+    return status
+
+
+def _write_metrics_artifact(path: str, telemetry: Telemetry, artifact: dict) -> None:
+    import json
+
+    if path.endswith(".prom"):
+        from .telemetry import PrometheusTextSink
+
+        PrometheusTextSink(path).export(telemetry.snapshot())
+    else:
+        doc = dict(artifact)
+        doc.update(telemetry.snapshot())
+        with open(path, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+    print(f"# metrics written to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,142 @@
+"""Execution configuration: one object for every run-time knob.
+
+Before this module, each layer grew its own keyword arguments —
+``backend=`` on the operators, ``workers=`` on ``Query.run``,
+``cost_model=`` everywhere, ``parallel=`` on ``consolidate_all`` — and
+they drifted (a knob added to one entry point was forgotten on the next).
+:class:`ExecutionConfig` replaces them with a single immutable value
+threaded through :meth:`repro.naiad.linq.Query.run`,
+:func:`repro.naiad.linq.from_collection`, ``run_where_many`` /
+``run_where_consolidated``, :func:`repro.consolidation.consolidate_all`,
+the experiment harness and the CLI.
+
+The old keyword arguments still work but emit :class:`DeprecationWarning`
+(see :func:`resolve_config`, the shared shim); they will be removed in
+2.0.
+
+Telemetry rides in the config too: ``telemetry`` is the
+:class:`repro.telemetry.Telemetry` facade every instrumented layer
+reports into (default: the no-op ``NULL_TELEMETRY``), and ``sink`` is an
+optional :class:`repro.telemetry.sinks.TelemetrySink` that
+:meth:`flush_telemetry` exports snapshots to.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .lang.compile import BACKENDS, DEFAULT_BACKEND
+from .lang.cost import DEFAULT_COST_MODEL, CostModel
+from .lang.functions import FunctionTable
+from .telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = ["ExecutionConfig", "EXECUTORS", "resolve_config", "deprecated_kwarg"]
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+def deprecated_kwarg(name: str, instead: str, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a legacy keyword."""
+
+    warnings.warn(
+        f"the {name!r} keyword is deprecated; pass "
+        f"ExecutionConfig({instead}) via config= instead",
+        DeprecationWarning,
+        stacklevel=stacklevel + 1,
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Everything a query run needs beyond the data and the programs.
+
+    ``backend``
+        UDF execution backend, ``"compiled"`` (default) or ``"interp"``.
+    ``workers``
+        Data-parallel dataflow shards.
+    ``cost_model``
+        The Figure-2 cost model used by interpreter, compiler and
+        consolidator alike.
+    ``functions``
+        Optional default :class:`FunctionTable`; entry points that take an
+        explicit table fall back to this one when it is omitted.
+    ``io_cost_per_record`` / ``overhead_per_operator``
+        The dataflow engine's virtual-clock charges.
+    ``memoize_calls``
+        Per-run memoisation of library calls in both backends.
+    ``executor`` / ``max_workers``
+        How the divide-and-conquer consolidation driver runs its pair
+        merges: ``"serial"``, ``"thread"`` (the paper's structure; no
+        CPython speedup) or ``"process"`` (actually uses cores — programs
+        are picklable ASTs).
+    ``telemetry`` / ``sink``
+        The observability handle and an optional export target.
+    """
+
+    backend: str = DEFAULT_BACKEND
+    workers: int = 4
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    functions: Optional[FunctionTable] = None
+    io_cost_per_record: int = 25
+    overhead_per_operator: int = 2
+    memoize_calls: bool = False
+    executor: str = "serial"
+    max_workers: int = 4
+    telemetry: Telemetry = NULL_TELEMETRY
+    sink: object = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; choose from {EXECUTORS}")
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.max_workers < 1:
+            raise ValueError("need at least one executor worker")
+
+    def evolve(self, **changes) -> "ExecutionConfig":
+        """A copy with ``changes`` applied (the config is immutable)."""
+
+        return replace(self, **changes)
+
+    def resolve_functions(self, functions: Optional[FunctionTable]) -> FunctionTable:
+        """The explicit table if given, else the config's, else empty."""
+
+        if functions is not None:
+            return functions
+        if self.functions is not None:
+            return self.functions
+        return FunctionTable()
+
+    def flush_telemetry(self) -> None:
+        """Export one snapshot to ``sink`` (no-op without a sink)."""
+
+        if self.sink is not None:
+            self.telemetry.export(self.sink)
+
+
+def resolve_config(
+    config: Optional[ExecutionConfig],
+    *,
+    stacklevel: int = 3,
+    **legacy,
+) -> ExecutionConfig:
+    """Merge deprecated per-function kwargs into an :class:`ExecutionConfig`.
+
+    ``legacy`` holds the old keyword arguments with ``None`` meaning "not
+    passed".  Every explicitly passed one emits a
+    :class:`DeprecationWarning` and overrides the config field of the same
+    name.  Behaviour is otherwise identical to pre-config code — the shim
+    tests assert byte-for-byte equal results.
+    """
+
+    resolved = config if config is not None else ExecutionConfig()
+    overrides = {name: value for name, value in legacy.items() if value is not None}
+    for name, value in overrides.items():
+        deprecated_kwarg(name, f"{name}={value!r}", stacklevel=stacklevel)
+    if overrides:
+        resolved = resolved.evolve(**overrides)
+    return resolved

@@ -16,35 +16,56 @@ Four orders are provided (the ablation benchmark compares them):
 * ``priority`` — a fold with the queries named in ``priority`` first (the
   Section 8 latency extension).
 
-``parallel=True`` runs each tree level's pair consolidations in a thread
-pool, mirroring the paper's parallel driver.  (CPython threads do not speed
-up this CPU-bound work, but the structure — and the measured *tree depth*
-— is what the scalability experiment reports.)
+Each tree level's pair consolidations can run on an ``executor``:
+
+* ``"serial"`` (default) — inline, one after the other;
+* ``"thread"`` — a thread pool, mirroring the paper's parallel driver
+  structure (CPython threads cannot speed up this CPU-bound work, but the
+  measured *tree depth* is what the scalability experiment reports);
+* ``"process"`` — a process pool that actually uses multiple cores:
+  programs are picklable ASTs, and consolidation never calls the library
+  *implementations* (it is a static transformation), so each worker gets a
+  callable-free copy of the function table.  Child-process counters are
+  folded back into the parent's report; per-query SMT latency histograms
+  are process-local and therefore only recorded for serial/thread runs.
+
+The legacy ``parallel=True`` flag is a deprecated alias for
+``executor="thread"``.  :class:`ConsolidationReport.executor` records
+which executor actually ran.
+
+Telemetry (``telemetry=`` or ``config.telemetry``): per-pair merge time
+histogram, calculus rule application counts, SMT query counters and the
+entailment fast-path counters all land in the metrics registry; tracing
+adds ``consolidate.batch`` / ``consolidate.pair`` spans.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..lang.ast import Program
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
-from ..lang.functions import FunctionTable
+from ..lang.functions import FunctionTable, LibraryFunction
 from ..smt.solver import Solver
+from ..telemetry import NULL_TELEMETRY
 from .algorithm import ConsolidationOptions, Consolidator
 from .simplifier import SimplifyStats
 
 __all__ = ["ConsolidationReport", "consolidate_all"]
+
+_EXECUTORS = ("serial", "thread", "process")
 
 
 @dataclass
 class ConsolidationReport:
     """What happened while merging a batch of UDFs.
 
-    ``parallel``/``max_workers`` record how the driver was configured, so
-    scalability experiments can attribute a duration to the pool it used.
+    ``executor``/``max_workers`` record how the driver was configured, so
+    scalability experiments can attribute a duration to the pool it used
+    (``parallel`` is kept as a derived legacy field).
 
     ``simplify_stats`` aggregates the entailment fast-path counters
     (abstract-env pre-check skips, memo hits) over every pair;
@@ -60,6 +81,7 @@ class ConsolidationReport:
     solver_stats: dict[str, int] = field(default_factory=dict)
     parallel: bool = False
     max_workers: int = 1
+    executor: str = "serial"
     simplify_stats: dict = field(default_factory=dict)
     validations: list = field(default_factory=list)
 
@@ -92,15 +114,57 @@ def _cluster_by_features(programs: list[Program]) -> list[Program]:
     return sorted(programs, key=lambda p: (signature(p), p.pid))
 
 
+# ---------------------------------------------------------------------------
+# Process-pool plumbing.  Consolidation never *calls* library functions, so
+# the child rebuilds the table from a picklable (name, cost, sorts) spec
+# with a stub callable — lambdas and closures in the real table would not
+# survive pickling.
+# ---------------------------------------------------------------------------
+
+
+def _stub_fn(*_args):  # pragma: no cover - consolidation never calls it
+    raise RuntimeError("library implementations are not shipped to consolidation workers")
+
+
+def _table_spec(functions: FunctionTable) -> tuple:
+    return tuple((f.name, f.cost, f.result_sort, f.arg_sorts) for f in functions)
+
+
+def _table_from_spec(spec: tuple) -> FunctionTable:
+    return FunctionTable(
+        LibraryFunction(name, _stub_fn, cost=cost, result_sort=sort, arg_sorts=args)
+        for name, cost, sort, args in spec
+    )
+
+
+def _merge_pair_task(payload: tuple):
+    """Top-level (hence picklable) pair-merge job for the process pool."""
+
+    a, b, spec, cost_model, options = payload
+    worker = Consolidator(_table_from_spec(spec), cost_model, options)
+    merged = worker.consolidate(a, b)
+    return (
+        merged,
+        worker.simplify_stats,
+        worker.solver.stats.snapshot(),
+        worker.last_validation,
+        tuple(worker.trace),
+        worker.last_duration,
+    )
+
+
 def consolidate_all(
     programs: list[Program],
     functions: FunctionTable,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     options: ConsolidationOptions | None = None,
     order: str = "clustered",
-    parallel: bool = False,
-    max_workers: int = 4,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
     priority: Sequence[str] | None = None,
+    executor: Optional[str] = None,
+    telemetry=None,
+    config=None,
 ) -> ConsolidationReport:
     """Merge ``programs`` into one program broadcasting every result.
 
@@ -110,12 +174,32 @@ def consolidate_all(
     the first program's statements — including its ``notify`` — before the
     second's, a higher-priority query's result is broadcast earlier in the
     merged program, bounding its latency.
+
+    ``executor`` selects how each tree level's pair merges run (see module
+    docstring); ``config`` (an :class:`repro.config.ExecutionConfig`)
+    supplies defaults for ``executor``, ``max_workers`` and ``telemetry``.
     """
 
     if not programs:
         raise ValueError("need at least one program")
     if order not in ("tree", "fold", "priority", "clustered"):
         raise ValueError(f"unknown order {order!r}")
+
+    if parallel is not None:
+        from ..config import deprecated_kwarg
+
+        deprecated_kwarg("parallel", "executor='thread'")
+        if executor is None:
+            executor = "thread" if parallel else "serial"
+    if executor is None:
+        executor = config.executor if config is not None else "serial"
+    if executor not in _EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
+    if max_workers is None:
+        max_workers = config.max_workers if config is not None else 4
+    if telemetry is None:
+        telemetry = config.telemetry if config is not None else NULL_TELEMETRY
+
     if order == "priority":
         rank = {pid: i for i, pid in enumerate(priority or [])}
         programs = sorted(programs, key=lambda p: rank.get(p.pid, len(rank)))
@@ -124,45 +208,119 @@ def consolidate_all(
         programs = _cluster_by_features(programs)
         order = "tree"
 
-    solver = Solver()
+    solver = Solver(telemetry=telemetry)
     options = options or ConsolidationOptions()
     stats = SimplifyStats()
     validations: list = []
+    extra_solver_stats: dict[str, int] = {}
+    registry = telemetry.metrics
+    pair_seconds = registry.histogram("consolidation_pair_seconds")
+    rule_counts: dict[str, int] = {}
     started = time.perf_counter()
     pairs = 0
     depth = 0
+
+    def record_pair(trace, duration: float) -> None:
+        pair_seconds.observe(duration)
+        for rule in trace:
+            rule_counts[rule] = rule_counts.get(rule, 0) + 1
 
     def merge(a: Program, b: Program) -> Program:
         # A fresh Consolidator per pair keeps traces separate; the shared
         # solver keeps the entailment cache warm across pairs, and the
         # shared stats object aggregates fast-path counters batch-wide.
         worker = Consolidator(functions, cost_model, options, solver, stats)
-        merged = worker.consolidate(a, b)
+        with telemetry.span("consolidate.pair", left=a.pid, right=b.pid):
+            merged = worker.consolidate(a, b)
+        record_pair(worker.trace, worker.last_duration)
         if worker.last_validation is not None:
             validations.append(worker.last_validation)
         return merged
 
-    level = list(programs)
-    if order == "fold":
-        acc = level[0]
-        for nxt in level[1:]:
-            acc = merge(acc, nxt)
-            pairs += 1
-            depth += 1
-        result = acc
-    else:
-        while len(level) > 1:
-            depth += 1
-            pairings = [(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)]
-            carried = [level[-1]] if len(level) % 2 else []
-            if parallel and len(pairings) > 1:
-                with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                    merged = list(pool.map(lambda ab: merge(*ab), pairings))
+    def absorb_task(result) -> Program:
+        """Fold one :func:`_merge_pair_task` result into the batch state."""
+
+        merged, child_stats, child_solver, validation, trace, duration = result
+        stats.entail_queries += child_stats.entail_queries
+        stats.smt_queries += child_stats.smt_queries
+        stats.precheck_skips += child_stats.precheck_skips
+        stats.memo_hits += child_stats.memo_hits
+        for key, value in child_solver.items():
+            extra_solver_stats[key] = extra_solver_stats.get(key, 0) + value
+        if validation is not None:
+            validations.append(validation)
+        record_pair(trace, duration)
+        return merged
+
+    spec = _table_spec(functions) if executor == "process" else None
+    pool = None
+    try:
+        with telemetry.span(
+            "consolidate.batch", n=len(programs), order=order, executor=executor
+        ):
+            level = list(programs)
+            if order == "fold":
+                acc = level[0]
+                for nxt in level[1:]:
+                    acc = merge(acc, nxt)
+                    pairs += 1
+                    depth += 1
+                result = acc
             else:
-                merged = [merge(a, b) for a, b in pairings]
-            pairs += len(pairings)
-            level = merged + carried
-        result = level[0]
+                while len(level) > 1:
+                    depth += 1
+                    pairings = [
+                        (level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+                    ]
+                    carried = [level[-1]] if len(level) % 2 else []
+                    if executor != "serial" and len(pairings) > 1:
+                        if pool is None:
+                            pool_cls = (
+                                ThreadPoolExecutor
+                                if executor == "thread"
+                                else ProcessPoolExecutor
+                            )
+                            pool = pool_cls(max_workers=max_workers)
+                        if executor == "thread":
+                            merged = list(pool.map(lambda ab: merge(*ab), pairings))
+                        else:
+                            payloads = [
+                                (a, b, spec, cost_model, options) for a, b in pairings
+                            ]
+                            merged = [
+                                absorb_task(r)
+                                for r in pool.map(_merge_pair_task, payloads)
+                            ]
+                    else:
+                        merged = [merge(a, b) for a, b in pairings]
+                    pairs += len(pairings)
+                    level = merged + carried
+                result = level[0]
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    solver_stats = solver.stats.snapshot()
+    for key, value in extra_solver_stats.items():
+        solver_stats[key] = solver_stats.get(key, 0) + value
+    simplify_snapshot = stats.snapshot()
+
+    if telemetry.enabled:
+        registry.counter("consolidation_batches_total").inc()
+        registry.counter("consolidation_pairs_total").inc(pairs)
+        registry.counter("consolidation_seconds_total").inc(
+            time.perf_counter() - started
+        )
+        for rule, count in rule_counts.items():
+            registry.counter("consolidation_rule_applications_total", rule=rule).inc(count)
+        registry.merge_counts(solver_stats, prefix="smt_")
+        registry.merge_counts(
+            {k: v for k, v in simplify_snapshot.items() if k != "memo_hit_rate"},
+            prefix="consolidation_",
+        )
+        registry.gauge("consolidation_memo_hit_rate").set(
+            simplify_snapshot.get("memo_hit_rate", 0.0)
+        )
 
     return ConsolidationReport(
         program=result,
@@ -170,9 +328,10 @@ def consolidate_all(
         pair_consolidations=pairs,
         tree_depth=depth,
         duration=time.perf_counter() - started,
-        solver_stats=solver.stats.snapshot(),
-        parallel=parallel,
-        max_workers=max_workers if parallel else 1,
-        simplify_stats=stats.snapshot(),
+        solver_stats=solver_stats,
+        parallel=executor != "serial",
+        max_workers=max_workers if executor != "serial" else 1,
+        executor=executor,
+        simplify_stats=simplify_snapshot,
         validations=validations,
     )

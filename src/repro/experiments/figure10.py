@@ -14,11 +14,11 @@ noise-free signal) and wall-clock seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..config import ExecutionConfig, resolve_config
 from ..consolidation.algorithm import ConsolidationOptions
 from ..datasets import generate_news
-from ..lang.compile import DEFAULT_BACKEND
 from ..queries import DOMAIN_QUERIES
 from .harness import ExperimentResult, run_experiment
 
@@ -79,24 +79,21 @@ def run_figure10(
     articles: int = 400,
     family: str = "BC",
     seed: int = 1,
-    workers: int = 4,
+    workers: Optional[int] = None,
     options: ConsolidationOptions | None = None,
-    backend: str = DEFAULT_BACKEND,
+    backend: Optional[str] = None,
+    config: ExecutionConfig | None = None,
 ) -> Figure10Report:
     """Sweep the number of News-mix UDFs; returns all five series."""
 
+    cfg = resolve_config(config, workers=workers, backend=backend)
     dataset = generate_news(articles=articles)
     module = DOMAIN_QUERIES["news"]
     report = Figure10Report()
     for n in sweep:
         programs = module.make_batch(dataset, family, n=n, seed=seed)
         result = run_experiment(
-            dataset,
-            programs,
-            family=family,
-            workers=workers,
-            options=options,
-            backend=backend,
+            dataset, programs, family=family, options=options, config=cfg
         )
         report.points.append(ScalabilityPoint.from_result(result))
     return report

@@ -22,8 +22,9 @@ cardinality.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Optional
 
+from ..config import ExecutionConfig, resolve_config
 from ..consolidation.algorithm import ConsolidationOptions
 from ..datasets import (
     generate_flights,
@@ -32,7 +33,6 @@ from ..datasets import (
     generate_twitter,
     generate_weather,
 )
-from ..lang.compile import DEFAULT_BACKEND
 from ..queries import DOMAIN_QUERIES
 from .harness import ExperimentResult, run_experiment
 
@@ -93,14 +93,16 @@ def run_figure9(
     n_udfs: int = 50,
     scale: float = 0.05,
     seed: int = 1,
-    workers: int = 4,
+    workers: Optional[int] = None,
     domains: Iterable[str] = DOMAIN_ORDER,
     options: ConsolidationOptions | None = None,
     datasets: dict | None = None,
-    backend: str = DEFAULT_BACKEND,
+    backend: Optional[str] = None,
+    config: ExecutionConfig | None = None,
 ) -> Figure9Report:
     """Regenerate every Figure 9 bar pair; raises on any soundness failure."""
 
+    cfg = resolve_config(config, workers=workers, backend=backend)
     datasets = datasets or make_datasets(scale)
     report = Figure9Report()
     for domain in domains:
@@ -109,12 +111,7 @@ def run_figure9(
         for family in module.FAMILY_NAMES:
             programs = module.make_batch(ds, family, n=n_udfs, seed=seed)
             result = run_experiment(
-                ds,
-                programs,
-                family=family,
-                workers=workers,
-                options=options,
-                backend=backend,
+                ds, programs, family=family, options=options, config=cfg
             )
             report.results.append(result)
     return report

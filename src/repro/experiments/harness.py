@@ -24,13 +24,13 @@ numbers — an experiment with a soundness violation raises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..config import ExecutionConfig, resolve_config
 from ..consolidation.algorithm import ConsolidationOptions
 from ..datasets.records import Dataset
 from ..lang.ast import Program
-from ..lang.compile import DEFAULT_BACKEND
-from ..lang.cost import DEFAULT_COST_MODEL, CostModel
+from ..lang.cost import CostModel
 from ..naiad.linq import run_where_consolidated, run_where_many
 
 __all__ = ["ExperimentResult", "SoundnessError", "run_experiment"]
@@ -61,6 +61,8 @@ class ExperimentResult:
     simplify_stats: dict = field(default_factory=dict)
     validations_certified: int = 0
     validations_total: int = 0
+    executor: str = "serial"
+    metrics: dict = field(default_factory=dict)
 
     @property
     def smt_skips(self) -> int:
@@ -115,34 +117,35 @@ def run_experiment(
     programs: Sequence[Program],
     family: str = "?",
     row_limit: int | None = None,
-    workers: int = 4,
-    cost_model: CostModel = DEFAULT_COST_MODEL,
+    workers: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
     options: ConsolidationOptions | None = None,
-    io_cost_per_record: int = 25,
-    backend: str = DEFAULT_BACKEND,
+    io_cost_per_record: Optional[int] = None,
+    backend: Optional[str] = None,
+    config: ExecutionConfig | None = None,
 ) -> ExperimentResult:
-    """Measure one batch under both operators; raises on any disagreement."""
+    """Measure one batch under both operators; raises on any disagreement.
+
+    With a live ``config.telemetry`` each experiment runs against a child
+    registry, so the result carries a metrics snapshot *for this experiment
+    only* while the parent registry still aggregates the whole batch.
+    """
+
+    cfg = resolve_config(
+        config,
+        workers=workers,
+        cost_model=cost_model,
+        io_cost_per_record=io_cost_per_record,
+        backend=backend,
+    )
+    local = cfg.telemetry.child()
+    run_cfg = cfg if local is cfg.telemetry else cfg.evolve(telemetry=local)
 
     rows = dataset.rows if row_limit is None else dataset.rows[:row_limit]
 
-    many = run_where_many(
-        rows,
-        programs,
-        dataset.functions,
-        cost_model,
-        workers,
-        io_cost_per_record,
-        backend=backend,
-    )
+    many = run_where_many(rows, programs, dataset.functions, config=run_cfg)
     cons, report = run_where_consolidated(
-        rows,
-        programs,
-        dataset.functions,
-        cost_model,
-        workers,
-        io_cost_per_record,
-        options,
-        backend=backend,
+        rows, programs, dataset.functions, options=options, config=run_cfg
     )
 
     if many.buckets != cons.buckets:
@@ -159,6 +162,9 @@ def run_experiment(
         )
 
     from ..lang.visitors import stmt_size
+
+    metrics_snapshot = local.metrics.snapshot() if local.enabled else {}
+    cfg.telemetry.absorb(local)
 
     return ExperimentResult(
         domain=dataset.name,
@@ -177,4 +183,6 @@ def run_experiment(
         simplify_stats=dict(report.simplify_stats),
         validations_certified=sum(1 for v in report.validations if v.certified),
         validations_total=len(report.validations),
+        executor=report.executor,
+        metrics=metrics_snapshot,
     )

@@ -25,14 +25,15 @@ designated queries near the front of the merged program.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..config import ExecutionConfig, resolve_config
 from ..consolidation.algorithm import ConsolidationOptions
 from ..consolidation.divide_conquer import consolidate_all
 from ..datasets.records import Dataset
 from ..lang.ast import Program
 from ..lang.compile import DEFAULT_BACKEND, make_runner
-from ..lang.cost import DEFAULT_COST_MODEL, CostModel
+from ..lang.cost import CostModel
 from ..lang.interp import combine_sequential
 
 __all__ = ["LatencyReport", "run_latency_experiment"]
@@ -100,33 +101,41 @@ def run_latency_experiment(
     programs: list[Program],
     priority: Sequence[str] = (),
     row_limit: int | None = 100,
-    cost_model: CostModel = DEFAULT_COST_MODEL,
+    cost_model: Optional[CostModel] = None,
     options: ConsolidationOptions | None = None,
-    backend: str = DEFAULT_BACKEND,
+    backend: Optional[str] = None,
+    config: ExecutionConfig | None = None,
 ) -> LatencyReport:
     """Measure per-query broadcast latencies under the three strategies."""
 
+    cfg = resolve_config(config, cost_model=cost_model, backend=backend)
     rows = dataset.rows if row_limit is None else dataset.rows[:row_limit]
     pids = [p.pid for p in programs]
 
     merged_default = consolidate_all(
-        programs, dataset.functions, cost_model, options
+        programs, dataset.functions, cfg.cost_model, options, config=cfg
     ).program
     merged_priority = consolidate_all(
-        programs, dataset.functions, cost_model, options, order="priority", priority=priority
+        programs,
+        dataset.functions,
+        cfg.cost_model,
+        options,
+        order="priority",
+        priority=priority,
+        config=cfg,
     ).program
 
     return LatencyReport(
         n_udfs=len(programs),
         rows=len(rows),
         sequential=_average_latencies(
-            programs, pids, rows, dataset.functions, cost_model, merged=False, backend=backend
+            programs, pids, rows, dataset.functions, cfg.cost_model, merged=False, backend=cfg.backend
         ),
         consolidated=_average_latencies(
-            merged_default, pids, rows, dataset.functions, cost_model, merged=True, backend=backend
+            merged_default, pids, rows, dataset.functions, cfg.cost_model, merged=True, backend=cfg.backend
         ),
         prioritized=_average_latencies(
-            merged_priority, pids, rows, dataset.functions, cost_model, merged=True, backend=backend
+            merged_priority, pids, rows, dataset.functions, cfg.cost_model, merged=True, backend=cfg.backend
         ),
         priority=tuple(priority),
     )

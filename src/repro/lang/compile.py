@@ -582,15 +582,26 @@ def compile_cached(
     *,
     memoize_calls: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
+    telemetry=None,
 ) -> CompiledProgram:
-    """Memoising front end to :func:`compile_program`."""
+    """Memoising front end to :func:`compile_program`.
+
+    ``telemetry`` records cache traffic (``compile_cache_hits_total`` /
+    ``compile_cache_misses_total``) and times each actual compilation into
+    the ``compile_seconds`` histogram.
+    """
 
     per_table = _CACHE.get(functions)
     if per_table is None:
         per_table = _CACHE.setdefault(functions, {})
     key = (program, cost_model, memoize_calls, max_steps)
     compiled = per_table.get(key)
+    live = telemetry is not None and telemetry.enabled
     if compiled is None:
+        if live:
+            from time import perf_counter
+
+            started = perf_counter()
         compiled = compile_program(
             program,
             functions,
@@ -599,6 +610,11 @@ def compile_cached(
             max_steps=max_steps,
         )
         per_table[key] = compiled
+        if live:
+            telemetry.counter("compile_cache_misses_total").inc()
+            telemetry.histogram("compile_seconds").observe(perf_counter() - started)
+    elif live:
+        telemetry.counter("compile_cache_hits_total").inc()
     return compiled
 
 
@@ -636,16 +652,19 @@ def make_runner(
     backend: str = DEFAULT_BACKEND,
     memoize_calls: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
+    telemetry=None,
 ) -> Callable[[Mapping[str, object]], RunResult]:
     """Return ``args -> RunResult`` for the chosen execution backend.
 
     ``backend="compiled"`` (the default) uses the compile cache and falls
-    back to a private interpreter — with a logged warning — if compilation
-    fails for any reason, so callers always get a working runner.
+    back to a private interpreter — with a logged warning and a
+    ``compile_fallbacks_total`` count — if compilation fails for any
+    reason, so callers always get a working runner.
     """
 
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    live = telemetry is not None and telemetry.enabled
     if backend == "compiled":
         try:
             return compile_cached(
@@ -654,8 +673,11 @@ def make_runner(
                 cost_model,
                 memoize_calls=memoize_calls,
                 max_steps=max_steps,
+                telemetry=telemetry,
             ).run
         except Exception as exc:  # noqa: BLE001 - fallback must be unconditional
+            if live:
+                telemetry.counter("compile_fallbacks_total").inc()
             logger.warning(
                 "compiled backend unavailable for %s (%s); falling back to the interpreter%s",
                 program.pid,

@@ -5,6 +5,14 @@
 * :mod:`repro.naiad.linq` — the fluent query façade and batch entry points.
 """
 
-from .dataflow import Dataflow, JobMetrics, RunResult, Vertex, Worker
+from .dataflow import Dataflow, OperatorStats, RunMetrics, RunResult, Vertex, Worker
 from .linq import Query, from_collection, run_where_consolidated, run_where_many
 from .operators import Collect, Count, CountByKey, FlatMap, Select, Where, WhereConsolidated, WhereMany
+
+
+def __getattr__(name: str):
+    if name == "JobMetrics":  # deprecated alias; warns via the dataflow module
+        from . import dataflow
+
+        return dataflow.JobMetrics
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

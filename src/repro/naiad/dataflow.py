@@ -16,6 +16,19 @@ provides faithfully:
   (the Naiad primitive the paper relies on for early result broadcast),
   which the engine routes into named result buckets.
 
+Observability: pass a live :class:`repro.telemetry.Telemetry` to
+:meth:`Dataflow.run` (normally via ``ExecutionConfig.telemetry``) and the
+engine additionally records **per-operator** records in/out, wall time,
+UDF cost and notification counts — both onto ``RunMetrics.per_operator``
+for that run and into the telemetry registry
+(``dataflow_operator_*{operator=...}`` series).  With the default no-op
+telemetry the engine takes a separate, uninstrumented code path whose
+overhead over the pre-telemetry engine is bounded by
+``benchmarks/bench_telemetry_overhead.py`` (≤ 5%).
+
+``RunMetrics`` absorbed the former ``JobMetrics`` (same fields, plus the
+per-operator breakdown); the old name remains as a deprecated alias.
+
 Determinism: given the same graph, input and worker count, a run produces
 identical costs and outputs — which is what makes the benchmark harness
 reproducible.
@@ -23,11 +36,20 @@ reproducible.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["Vertex", "Edge", "Dataflow", "Worker", "JobMetrics", "RunResult"]
+__all__ = [
+    "Vertex",
+    "Edge",
+    "Dataflow",
+    "Worker",
+    "OperatorStats",
+    "RunMetrics",
+    "RunResult",
+]
 
 
 class Vertex:
@@ -57,13 +79,37 @@ class Edge:
 
 
 @dataclass
-class JobMetrics:
-    """Cost accounting for one dataflow run.
+class OperatorStats:
+    """Per-operator accounting for one run (telemetry-enabled runs only)."""
+
+    records_in: int = 0
+    records_out: int = 0
+    udf_cost: int = 0
+    notifications: int = 0
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "udf_cost": self.udf_cost,
+            "notifications": self.notifications,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class RunMetrics:
+    """Cost accounting for one dataflow run (formerly ``JobMetrics``).
 
     ``udf_cost`` counts only the work done inside user-defined functions
     (Figure 2 units); ``total_cost`` adds IO and engine overhead.
     ``makespan`` is the maximum per-worker total — the virtual-time analogue
     of job completion time on a multi-worker cluster.
+
+    ``per_operator`` maps operator name to an :class:`OperatorStats`; it is
+    populated only when the run was handed a live telemetry (the per-record
+    bookkeeping is skipped entirely otherwise).
     """
 
     udf_cost: int = 0
@@ -73,6 +119,7 @@ class JobMetrics:
     records: int = 0
     per_worker_total: list[int] = field(default_factory=list)
     per_worker_udf: list[int] = field(default_factory=list)
+    per_operator: dict[str, OperatorStats] = field(default_factory=dict)
 
     @property
     def total_cost(self) -> int:
@@ -89,7 +136,7 @@ class JobMetrics:
 
 @dataclass
 class RunResult:
-    metrics: JobMetrics
+    metrics: RunMetrics
     buckets: dict[str, list[Any]]
 
 
@@ -121,9 +168,30 @@ class Worker:
         self._run.buckets.setdefault(bucket, []).append(record)
 
 
+class _TracedWorker(Worker):
+    """A worker that additionally attributes UDF cost and notifications to
+    the operator currently processing a record (``_op`` is maintained by
+    the traced push loop).  Kept out of :class:`Worker` so the fast path
+    pays nothing for the attribution hooks."""
+
+    def __init__(self, index: int, run: "_RunState") -> None:
+        super().__init__(index, run)
+        self._op: OperatorStats | None = None
+
+    def charge_udf(self, units: int) -> None:
+        super().charge_udf(units)
+        if self._op is not None:
+            self._op.udf_cost += units
+
+    def notify(self, bucket: str, record: Any) -> None:
+        super().notify(bucket, record)
+        if self._op is not None:
+            self._op.notifications += 1
+
+
 class _RunState:
     def __init__(self) -> None:
-        self.metrics = JobMetrics()
+        self.metrics = RunMetrics()
         self.buckets: dict[str, list[Any]] = {}
 
 
@@ -162,11 +230,25 @@ class Dataflow:
             parts[i % workers].append(r)
         return parts
 
-    def run(self, records: Sequence[Any], workers: int = 4) -> RunResult:
-        """Push every record through the graph; deterministic cost clock."""
+    def run(
+        self,
+        records: Sequence[Any],
+        workers: int = 4,
+        telemetry=None,
+    ) -> RunResult:
+        """Push every record through the graph; deterministic cost clock.
+
+        ``telemetry`` (a :class:`repro.telemetry.Telemetry`, default no-op)
+        switches the run onto the instrumented path: per-operator stats on
+        the result's metrics, counters in the registry, and a
+        ``dataflow.run`` span when tracing is on.
+        """
 
         if workers < 1:
             raise ValueError("need at least one worker")
+        if telemetry is not None and telemetry.enabled:
+            return self._run_traced(records, workers, telemetry)
+
         state = _RunState()
         start = perf_counter()
         for index, part in enumerate(self._partition(records, workers)):
@@ -188,3 +270,90 @@ class Dataflow:
         for output in vertex.process(record, worker):
             for child in vertex.downstream:
                 self._push(child, output, worker)
+
+    # -- instrumented execution --------------------------------------------------
+
+    def _run_traced(self, records: Sequence[Any], workers: int, telemetry) -> RunResult:
+        state = _RunState()
+        op_stats: dict[str, OperatorStats] = {
+            v.name: OperatorStats() for v in self._vertices
+        }
+        with telemetry.span("dataflow.run", workers=workers, records=len(records)) as span:
+            start = perf_counter()
+            for index, part in enumerate(self._partition(records, workers)):
+                worker = _TracedWorker(index, state)
+                for record in part:
+                    state.metrics.records += 1
+                    worker.charge_io(self.io_cost_per_record)
+                    for root in self._roots:
+                        self._push_traced(root, record, worker, op_stats)
+                for vertex in self._vertices:
+                    worker._op = op_stats[vertex.name]
+                    vertex.on_flush(worker)
+                    worker._op = None
+                state.metrics.per_worker_total.append(worker.total_clock)
+                state.metrics.per_worker_udf.append(worker.udf_clock)
+            state.metrics.wall_seconds = perf_counter() - start
+            span.set("total_cost", state.metrics.total_cost)
+            span.set("udf_cost", state.metrics.udf_cost)
+        state.metrics.per_operator = op_stats
+        self._record_metrics(state.metrics, op_stats, telemetry)
+        return RunResult(metrics=state.metrics, buckets=state.buckets)
+
+    def _push_traced(
+        self,
+        vertex: Vertex,
+        record: Any,
+        worker: _TracedWorker,
+        op_stats: dict[str, OperatorStats],
+    ) -> None:
+        worker.charge_overhead(self.overhead_per_operator)
+        stats = op_stats[vertex.name]
+        stats.records_in += 1
+        worker._op = stats
+        t0 = perf_counter()
+        # Materialising the generator keeps the timing exclusive to this
+        # operator: children are pushed only after the clock stops.
+        outputs = list(vertex.process(record, worker))
+        stats.seconds += perf_counter() - t0
+        worker._op = None
+        stats.records_out += len(outputs)
+        for output in outputs:
+            for child in vertex.downstream:
+                self._push_traced(child, output, worker, op_stats)
+
+    @staticmethod
+    def _record_metrics(metrics: RunMetrics, op_stats: dict, telemetry) -> None:
+        registry = telemetry.metrics
+        registry.counter("dataflow_runs_total").inc()
+        registry.counter("dataflow_records_total").inc(metrics.records)
+        registry.counter("dataflow_wall_seconds_total").inc(metrics.wall_seconds)
+        registry.counter("dataflow_udf_cost_total").inc(metrics.udf_cost)
+        for name, stats in op_stats.items():
+            registry.counter("dataflow_operator_records_in_total", operator=name).inc(
+                stats.records_in
+            )
+            registry.counter("dataflow_operator_records_out_total", operator=name).inc(
+                stats.records_out
+            )
+            registry.counter("dataflow_operator_udf_cost_total", operator=name).inc(
+                stats.udf_cost
+            )
+            registry.counter("dataflow_operator_seconds_total", operator=name).inc(
+                stats.seconds
+            )
+            registry.counter(
+                "dataflow_operator_notifications_total", operator=name
+            ).inc(stats.notifications)
+
+
+def __getattr__(name: str):
+    if name == "JobMetrics":
+        warnings.warn(
+            "JobMetrics was absorbed into RunMetrics; update imports to "
+            "repro.naiad.dataflow.RunMetrics",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return RunMetrics
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,17 +10,24 @@ points implement the operators of Section 6.1:
   divide-and-conquer driver, then runs the single merged UDF
   (``whereConsolidated``); returns both the run and the consolidation
   report so harnesses can separate consolidation time from execution time.
+
+Configuration travels as ONE object: every entry point takes an
+:class:`repro.config.ExecutionConfig` (``config=``) carrying backend,
+workers, cost model, default function table, executor and telemetry.  The
+pre-config keyword arguments (``backend=``, ``workers=``, ``cost_model=``,
+``io_cost_per_record=``, ...) still work but emit
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Optional, Sequence
 
+from ..config import ExecutionConfig, resolve_config
 from ..consolidation.algorithm import ConsolidationOptions
 from ..consolidation.divide_conquer import ConsolidationReport, consolidate_all
 from ..lang.ast import Program
-from ..lang.compile import DEFAULT_BACKEND
-from ..lang.cost import DEFAULT_COST_MODEL, CostModel
+from ..lang.cost import CostModel
 from ..lang.functions import FunctionTable
 from .dataflow import Dataflow, RunResult, Vertex
 from .operators import Collect, Count, CountByKey, FlatMap, Select, Where, WhereConsolidated, WhereMany
@@ -29,45 +36,91 @@ __all__ = ["Query", "from_collection", "run_where_many", "run_where_consolidated
 
 
 class Query:
-    """A fluent builder: each call appends one operator to the graph."""
+    """A fluent builder: each call appends one operator to the graph.
 
-    def __init__(self, records: Sequence[Any], dataflow: Dataflow, tail: Vertex | None) -> None:
+    The query carries its :class:`ExecutionConfig`; operator methods take
+    the function table explicitly (or from ``config.functions``) and read
+    every other knob from the config.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[Any],
+        dataflow: Dataflow,
+        tail: Vertex | None,
+        config: ExecutionConfig | None = None,
+    ) -> None:
         self._records = records
         self._dataflow = dataflow
         self._tail = tail
+        self._config = config if config is not None else ExecutionConfig()
+
+    @property
+    def config(self) -> ExecutionConfig:
+        return self._config
 
     def _extend(self, vertex: Vertex) -> "Query":
         self._dataflow.add_vertex(vertex, upstream=self._tail)
-        return Query(self._records, self._dataflow, vertex)
+        return Query(self._records, self._dataflow, vertex, self._config)
+
+    def _udf_kwargs(
+        self, cost_model: Optional[CostModel], backend: Optional[str]
+    ) -> dict:
+        cfg = resolve_config(
+            self._config, cost_model=cost_model, backend=backend, stacklevel=4
+        )
+        return {
+            "cost_model": cfg.cost_model,
+            "backend": cfg.backend,
+            "memoize_calls": cfg.memoize_calls,
+            "telemetry": cfg.telemetry,
+        }
 
     def where(
         self,
         program: Program,
-        functions: FunctionTable,
-        cost_model: CostModel = DEFAULT_COST_MODEL,
-        backend: str = DEFAULT_BACKEND,
+        functions: Optional[FunctionTable] = None,
+        cost_model: Optional[CostModel] = None,
+        backend: Optional[str] = None,
     ) -> "Query":
-        return self._extend(Where(program, functions, cost_model, backend=backend))
+        return self._extend(
+            Where(
+                program,
+                self._config.resolve_functions(functions),
+                **self._udf_kwargs(cost_model, backend),
+            )
+        )
 
     def where_many(
         self,
         programs: Sequence[Program],
-        functions: FunctionTable,
-        cost_model: CostModel = DEFAULT_COST_MODEL,
-        backend: str = DEFAULT_BACKEND,
+        functions: Optional[FunctionTable] = None,
+        cost_model: Optional[CostModel] = None,
+        backend: Optional[str] = None,
     ) -> "Query":
-        return self._extend(WhereMany(programs, functions, cost_model, backend=backend))
+        return self._extend(
+            WhereMany(
+                programs,
+                self._config.resolve_functions(functions),
+                **self._udf_kwargs(cost_model, backend),
+            )
+        )
 
     def where_consolidated(
         self,
         merged: Program,
         pids: Sequence[str],
-        functions: FunctionTable,
-        cost_model: CostModel = DEFAULT_COST_MODEL,
-        backend: str = DEFAULT_BACKEND,
+        functions: Optional[FunctionTable] = None,
+        cost_model: Optional[CostModel] = None,
+        backend: Optional[str] = None,
     ) -> "Query":
         return self._extend(
-            WhereConsolidated(merged, pids, functions, cost_model, backend=backend)
+            WhereConsolidated(
+                merged,
+                pids,
+                self._config.resolve_functions(functions),
+                **self._udf_kwargs(cost_model, backend),
+            )
         )
 
     def select(self, fn: Callable[[Any], Any], cost: int = 3) -> "Query":
@@ -85,18 +138,30 @@ class Query:
     def collect(self, bucket: str = "out") -> "Query":
         return self._extend(Collect(bucket))
 
-    def run(self, workers: int = 4) -> RunResult:
-        return self._dataflow.run(self._records, workers)
+    def run(
+        self,
+        config: ExecutionConfig | None = None,
+        *,
+        workers: Optional[int] = None,
+    ) -> RunResult:
+        cfg = resolve_config(config if config is not None else self._config, workers=workers)
+        return self._dataflow.run(self._records, cfg.workers, telemetry=cfg.telemetry)
 
 
 def from_collection(
     records: Sequence[Any],
-    io_cost_per_record: int = 25,
-    overhead_per_operator: int = 2,
+    io_cost_per_record: Optional[int] = None,
+    overhead_per_operator: Optional[int] = None,
+    config: ExecutionConfig | None = None,
 ) -> Query:
     """Start a query over an in-memory collection (one graph root)."""
 
-    dataflow = Dataflow(io_cost_per_record, overhead_per_operator)
+    cfg = resolve_config(
+        config,
+        io_cost_per_record=io_cost_per_record,
+        overhead_per_operator=overhead_per_operator,
+    )
+    dataflow = Dataflow(cfg.io_cost_per_record, cfg.overhead_per_operator)
 
     class _Source(Vertex):
         def process(self, record: Any, worker) -> Any:  # noqa: ANN001
@@ -104,41 +169,56 @@ def from_collection(
 
     source = _Source("input")
     dataflow.add_vertex(source)
-    return Query(records, dataflow, source)
+    return Query(records, dataflow, source, cfg)
 
 
 def run_where_many(
     records: Sequence[Any],
     programs: Sequence[Program],
-    functions: FunctionTable,
-    cost_model: CostModel = DEFAULT_COST_MODEL,
-    workers: int = 4,
-    io_cost_per_record: int = 25,
-    backend: str = DEFAULT_BACKEND,
+    functions: Optional[FunctionTable] = None,
+    cost_model: Optional[CostModel] = None,
+    workers: Optional[int] = None,
+    io_cost_per_record: Optional[int] = None,
+    backend: Optional[str] = None,
+    config: ExecutionConfig | None = None,
 ) -> RunResult:
     """Execute the ``whereMany`` baseline over the collection."""
 
-    query = from_collection(records, io_cost_per_record).where_many(
-        programs, functions, cost_model, backend=backend
+    cfg = resolve_config(
+        config,
+        cost_model=cost_model,
+        workers=workers,
+        io_cost_per_record=io_cost_per_record,
+        backend=backend,
     )
-    return query.run(workers)
+    query = from_collection(records, config=cfg).where_many(programs, functions)
+    return query.run(cfg)
 
 
 def run_where_consolidated(
     records: Sequence[Any],
     programs: Sequence[Program],
-    functions: FunctionTable,
-    cost_model: CostModel = DEFAULT_COST_MODEL,
-    workers: int = 4,
-    io_cost_per_record: int = 25,
+    functions: Optional[FunctionTable] = None,
+    cost_model: Optional[CostModel] = None,
+    workers: Optional[int] = None,
+    io_cost_per_record: Optional[int] = None,
     options: ConsolidationOptions | None = None,
-    backend: str = DEFAULT_BACKEND,
+    backend: Optional[str] = None,
+    config: ExecutionConfig | None = None,
 ) -> tuple[RunResult, ConsolidationReport]:
     """Consolidate the batch, execute ``whereConsolidated``, report both."""
 
-    report = consolidate_all(list(programs), functions, cost_model, options)
-    pids = [p.pid for p in programs]
-    query = from_collection(records, io_cost_per_record).where_consolidated(
-        report.program, pids, functions, cost_model, backend=backend
+    cfg = resolve_config(
+        config,
+        cost_model=cost_model,
+        workers=workers,
+        io_cost_per_record=io_cost_per_record,
+        backend=backend,
     )
-    return query.run(workers), report
+    table = cfg.resolve_functions(functions)
+    report = consolidate_all(list(programs), table, options=options, config=cfg)
+    pids = [p.pid for p in programs]
+    query = from_collection(records, config=cfg).where_consolidated(
+        report.program, pids, table
+    )
+    return query.run(cfg), report

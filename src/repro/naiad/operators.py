@@ -55,11 +55,17 @@ class Where(Vertex):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         memoize_calls: bool = False,
         backend: str = DEFAULT_BACKEND,
+        telemetry=None,
     ) -> None:
         super().__init__(f"where[{program.pid}]")
         self.program = program
         self.runner = make_runner(
-            program, functions, cost_model, backend=backend, memoize_calls=memoize_calls
+            program,
+            functions,
+            cost_model,
+            backend=backend,
+            memoize_calls=memoize_calls,
+            telemetry=telemetry,
         )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
@@ -79,6 +85,7 @@ class WhereMany(Vertex):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         memoize_calls: bool = False,
         backend: str = DEFAULT_BACKEND,
+        telemetry=None,
     ) -> None:
         super().__init__(f"whereMany[{len(programs)}]")
         if not programs:
@@ -86,7 +93,12 @@ class WhereMany(Vertex):
         self.programs = list(programs)
         self.runners = [
             make_runner(
-                p, functions, cost_model, backend=backend, memoize_calls=memoize_calls
+                p,
+                functions,
+                cost_model,
+                backend=backend,
+                memoize_calls=memoize_calls,
+                telemetry=telemetry,
             )
             for p in programs
         ]
@@ -111,12 +123,18 @@ class WhereConsolidated(Vertex):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         memoize_calls: bool = False,
         backend: str = DEFAULT_BACKEND,
+        telemetry=None,
     ) -> None:
         super().__init__(f"whereConsolidated[{len(pids)}]")
         self.merged = merged
         self.pids = list(pids)
         self.runner = make_runner(
-            merged, functions, cost_model, backend=backend, memoize_calls=memoize_calls
+            merged,
+            functions,
+            cost_model,
+            backend=backend,
+            memoize_calls=memoize_calls,
+            telemetry=telemetry,
         )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:

@@ -58,13 +58,27 @@ class SolverStats:
 
 
 class Solver:
-    """Memoising QF_UFLIA satisfiability/validity checker."""
+    """Memoising QF_UFLIA satisfiability/validity checker.
 
-    def __init__(self, lemma_budget: int = 400, cache_size: int = 100_000) -> None:
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) turns on latency
+    recording: every check that misses the memo is timed into the
+    ``smt_check_seconds`` histogram.  With the default no-op telemetry the
+    only cost is one attribute read per miss.
+    """
+
+    def __init__(
+        self,
+        lemma_budget: int = 400,
+        cache_size: int = 100_000,
+        telemetry=None,
+    ) -> None:
         self.lemma_budget = lemma_budget
         self.cache_size = cache_size
         self.stats = SolverStats()
         self._sat_cache: dict[Formula, CheckResult] = {}
+        if telemetry is None:
+            from ..telemetry import NULL_TELEMETRY as telemetry  # noqa: N811
+        self._telemetry = telemetry
 
     # -- public API ---------------------------------------------------------
 
@@ -76,7 +90,16 @@ class Solver:
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
-        result = self._check(f)
+        if self._telemetry.enabled:
+            from time import perf_counter
+
+            started = perf_counter()
+            result = self._check(f)
+            self._telemetry.histogram("smt_check_seconds").observe(
+                perf_counter() - started
+            )
+        else:
+            result = self._check(f)
         if len(self._sat_cache) < self.cache_size:
             self._sat_cache[f] = result
         return result

@@ -1,0 +1,54 @@
+"""repro.telemetry — dependency-free tracing spans + metrics registry.
+
+The observability layer behind :class:`repro.config.ExecutionConfig` and
+the CLI's ``--metrics-out`` / ``--trace`` flags (see DESIGN.md
+§Telemetry):
+
+* :mod:`repro.telemetry.spans` — nested wall/CPU spans;
+* :mod:`repro.telemetry.metrics` — counters, gauges, fixed-bucket
+  histograms, and the :class:`MetricsRegistry`;
+* :mod:`repro.telemetry.core` — the :class:`Telemetry` facade and the
+  no-op default ``NULL_TELEMETRY``;
+* :mod:`repro.telemetry.noop` — the zero-overhead twins;
+* :mod:`repro.telemetry.sinks` — in-memory, JSONL, and Prometheus text
+  exposition sinks.
+"""
+
+from .core import NULL_TELEMETRY, Telemetry
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .noop import NullRegistry, NullTracer
+from .sinks import (
+    InMemorySink,
+    JsonlFileSink,
+    PrometheusTextSink,
+    TelemetrySink,
+    prometheus_text,
+)
+from .spans import Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "TelemetrySink",
+    "InMemorySink",
+    "JsonlFileSink",
+    "PrometheusTextSink",
+    "prometheus_text",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]

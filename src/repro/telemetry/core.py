@@ -1,0 +1,105 @@
+"""The :class:`Telemetry` facade — one handle for tracer + registry.
+
+Instrumented subsystems (dataflow, consolidation, SMT, compiled backend,
+harness) take a single ``telemetry`` object rather than separate tracer
+and registry arguments; :class:`~repro.config.ExecutionConfig` carries it
+through the public API.  Three configurations cover every use:
+
+* ``NULL_TELEMETRY`` (the default) — both halves are no-ops; ``enabled``
+  is False so hot paths skip instrumentation entirely;
+* ``Telemetry.capture()`` — metrics on, tracing off (the common
+  production shape: counters are cheap, span forests are not free);
+* ``Telemetry.capture(trace=True)`` — both on (the CLI's ``--trace``).
+
+``child()`` creates a scoped registry that is merged back on
+``absorb()`` — the experiment harness uses this to give every Figure-9
+row its own metrics snapshot while the batch-wide registry still
+aggregates everything.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .noop import NullRegistry, NullTracer
+from .spans import Tracer
+
+__all__ = ["Telemetry", "NULL_TELEMETRY"]
+
+_NULL_TRACER = NullTracer()
+_NULL_REGISTRY = NullRegistry()
+
+
+class Telemetry:
+    """A (tracer, metrics registry) pair with an ``enabled`` fast-flag."""
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(self, tracer=None, metrics=None, enabled: bool = True) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = enabled
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def capture(cls, trace: bool = False) -> "Telemetry":
+        """A live telemetry: fresh registry, tracing only when asked."""
+
+        return cls(tracer=Tracer() if trace else _NULL_TRACER)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared no-op telemetry (also importable as NULL_TELEMETRY)."""
+
+        return NULL_TELEMETRY
+
+    def child(self) -> "Telemetry":
+        """A scoped registry sharing this telemetry's tracer.
+
+        Disabled telemetry returns itself, so callers need no branching.
+        """
+
+        if not self.enabled:
+            return self
+        return Telemetry(tracer=self.tracer, metrics=MetricsRegistry())
+
+    def absorb(self, child: "Telemetry") -> None:
+        """Fold a :meth:`child`'s metrics back into this registry."""
+
+        if self.enabled and child is not self:
+            self.metrics.merge(child.metrics)
+
+    # -- delegation ----------------------------------------------------------
+
+    def span(self, name: str, **attributes):
+        return self.tracer.span(name, **attributes)
+
+    def counter(self, name: str, **labels):
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, buckets=None, **labels):
+        if buckets is None:
+            return self.metrics.histogram(name, **labels)
+        return self.metrics.histogram(name, buckets=buckets, **labels)
+
+    # -- output --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One JSON-able artifact: metrics plus (if traced) the span forest."""
+
+        doc = {"metrics": self.metrics.snapshot()}
+        spans = self.tracer.to_dicts()
+        if spans:
+            doc["spans"] = spans
+        return doc
+
+    def export(self, sink) -> None:
+        """Push one snapshot into a sink (see :mod:`repro.telemetry.sinks`)."""
+
+        sink.export(self.snapshot())
+
+
+NULL_TELEMETRY = Telemetry(tracer=_NULL_TRACER, metrics=_NULL_REGISTRY, enabled=False)

@@ -1,0 +1,121 @@
+"""Telemetry sinks: where snapshots go.
+
+A sink is anything with ``export(snapshot: dict) -> None``, where the
+snapshot is what :meth:`repro.telemetry.core.Telemetry.snapshot` returns
+(``{"metrics": {...}, "spans": [...]}``).  Three implementations:
+
+* :class:`InMemorySink` — keeps snapshots in a list (tests, notebooks);
+* :class:`JsonlFileSink` — appends one JSON document per line, the format
+  the CLI's ``--metrics-out`` artifact builds on and EXPERIMENTS.md
+  documents next to the ``BENCH_*.json`` files;
+* :class:`PrometheusTextSink` — renders the metrics half in the
+  Prometheus text exposition format (version 0.0.4), so an operator can
+  point a node-exporter-style textfile collector at the output.
+
+:func:`prometheus_text` is the pure renderer, usable without a sink.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "TelemetrySink",
+    "InMemorySink",
+    "JsonlFileSink",
+    "PrometheusTextSink",
+    "prometheus_text",
+]
+
+
+@runtime_checkable
+class TelemetrySink(Protocol):
+    def export(self, snapshot: dict) -> None: ...
+
+
+class InMemorySink:
+    """Accumulates snapshots in memory (``sink.exports``)."""
+
+    def __init__(self) -> None:
+        self.exports: list[dict] = []
+
+    def export(self, snapshot: dict) -> None:
+        self.exports.append(snapshot)
+
+
+class JsonlFileSink:
+    """Appends each snapshot as one line of JSON to ``path``."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+
+    def export(self, snapshot: dict) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
+
+
+class PrometheusTextSink:
+    """Overwrites ``path`` with the text exposition of the latest snapshot."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+
+    def export(self, snapshot: dict) -> None:
+        with open(self.path, "w") as handle:
+            handle.write(prometheus_text(snapshot.get("metrics", snapshot)))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (the subset the metric model needs)
+# ---------------------------------------------------------------------------
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: dict, extra: tuple = ()) -> str:
+    items = [*sorted(labels.items()), *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _num(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def prometheus_text(metrics_snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as exposition text.
+
+    Families are emitted in name order with one ``# TYPE`` line each;
+    histogram buckets are cumulative with the mandatory ``+Inf`` bucket
+    and ``_sum`` / ``_count`` series, exactly as Prometheus expects.
+    """
+
+    families: dict[str, tuple[str, list]] = {}
+    for kind_key, kind in (("counters", "counter"), ("gauges", "gauge"), ("histograms", "histogram")):
+        for metric in metrics_snapshot.get(kind_key, []):
+            families.setdefault(metric["name"], (kind, []))[1].append(metric)
+
+    lines: list[str] = []
+    for name in sorted(families):
+        kind, metrics = families[name]
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in metrics:
+            labels = metric["labels"]
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_labels(labels)} {_num(metric['value'])}")
+            else:
+                for le, cumulative in metric["buckets"]:
+                    le_str = "+Inf" if le == "+Inf" else _num(le)
+                    lines.append(
+                        f"{name}_bucket{_labels(labels, (('le', le_str),))} {cumulative}"
+                    )
+                lines.append(f"{name}_sum{_labels(labels)} {_num(metric['sum'])}")
+                lines.append(f"{name}_count{_labels(labels)} {metric['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

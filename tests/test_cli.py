@@ -91,3 +91,100 @@ class TestExperimentCommands:
         rc = main(["figure10", "--sweep", "2,4", "--articles", "40"])
         assert rc == 0
         assert "whereMany_total" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_figure9_domain_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "figure9",
+                "--domain",
+                "weather",
+                "--n-udfs",
+                "4",
+                "--scale",
+                "0.02",
+                "--metrics-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "metrics written" in capsys.readouterr().err
+        doc = json.loads(out.read_text())
+        assert doc["command"] == "figure9"
+        assert {r["domain"] for r in doc["rows"]} == {"weather"}
+        names = {c["name"] for c in doc["metrics"]["counters"]}
+        assert "dataflow_records_total" in names
+        assert "smt_checks" in names
+        assert any(n.startswith("dataflow_operator_records_in") for n in names)
+        assert any(n.startswith("compile_cache") for n in names)
+        hists = {h["name"] for h in doc["metrics"]["histograms"]}
+        assert "smt_check_seconds" in hists
+        # Every figure row carries its own per-experiment snapshot.
+        assert all("metrics" in r for r in doc["rows"])
+
+    def test_trace_adds_spans(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "--trace",
+                "figure9",
+                "--domain",
+                "weather",
+                "--n-udfs",
+                "2",
+                "--scale",
+                "0.02",
+                "--metrics-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        span_names = {s["name"] for s in doc["spans"]}
+        assert "dataflow.run" in span_names
+        assert "consolidate.batch" in span_names
+
+    def test_prometheus_artifact(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        rc = main(
+            ["consolidate", "--domain", "weather", "--metrics-out", str(out)]
+            + _two_progs(tmp_path)
+        )
+        assert rc == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert "# TYPE consolidation_pairs_total counter" in text
+        assert "consolidation_pair_seconds_bucket" in text
+
+    def test_consolidate_executor_flag(self, tmp_path, capsys):
+        rc = main(
+            ["consolidate", "--domain", "weather", "--executor", "thread"]
+            + _two_progs(tmp_path)
+        )
+        assert rc == 0
+        assert "executor thread" in capsys.readouterr().err
+
+
+def _two_progs(tmp_path):
+    a = tmp_path / "x.prog"
+    a.write_text(
+        "program hot(row) {\n"
+        "  t := monthly_avg_temp(@row, 7);\n"
+        "  if (t > 50) { notify hot true; } else { notify hot false; }\n"
+        "}\n"
+    )
+    b = tmp_path / "y.prog"
+    b.write_text(
+        "program cold(row) {\n"
+        "  u := monthly_avg_temp(@row, 7);\n"
+        "  if (u < 0) { notify cold true; } else { notify cold false; }\n"
+        "}\n"
+    )
+    return [str(a), str(b)]

@@ -1,0 +1,267 @@
+"""ExecutionConfig API: validation, deprecation shims, executors, telemetry.
+
+The contract under test: the new ``config=`` object is the one way to set
+run-time knobs; every legacy keyword still works identically but warns;
+telemetry never changes observable outputs; both pool executors produce
+the same merged program as the serial driver.
+"""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.config import ExecutionConfig, resolve_config
+from repro.consolidation import consolidate_all
+from repro.datasets import generate_weather
+from repro.lang import parse_program
+from repro.naiad import from_collection, run_where_consolidated, run_where_many
+from repro.queries.weather_queries import make_batch
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return generate_weather(cities=25, years=1, seed=3)
+
+
+@pytest.fixture(scope="module")
+def batch(weather):
+    return make_batch(weather, "Q1", n=6, seed=3)
+
+
+def _buckets(result):
+    return {pid: sorted(map(repr, rows)) for pid, rows in result.buckets.items()}
+
+
+class TestExecutionConfig:
+    def test_defaults(self):
+        cfg = ExecutionConfig()
+        assert cfg.backend == "compiled"
+        assert cfg.executor == "serial"
+        assert cfg.telemetry.enabled is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(backend="llvm")
+        with pytest.raises(ValueError):
+            ExecutionConfig(executor="fiber")
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(max_workers=0)
+
+    def test_frozen_and_evolve(self):
+        cfg = ExecutionConfig()
+        with pytest.raises(AttributeError):
+            cfg.workers = 8
+        assert cfg.evolve(workers=8).workers == 8
+        assert cfg.workers == 4
+
+    def test_resolve_functions(self, weather):
+        cfg = ExecutionConfig(functions=weather.functions)
+        assert cfg.resolve_functions(None) is weather.functions
+        other = weather.functions
+        assert cfg.resolve_functions(other) is other
+        assert len(ExecutionConfig().resolve_functions(None)) == 0
+
+    def test_resolve_config_merges_and_warns(self):
+        with pytest.warns(DeprecationWarning, match="workers"):
+            cfg = resolve_config(None, workers=2)
+        assert cfg.workers == 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_config(None, workers=None).workers == 4
+
+
+class TestDeprecatedKwargShims:
+    """Legacy keywords warn but behave byte-for-byte like the config."""
+
+    def test_run_where_many_workers_kwarg(self, weather, batch):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_where_many(weather.rows, batch, weather.functions, workers=2)
+        modern = run_where_many(
+            weather.rows, batch, weather.functions, config=ExecutionConfig(workers=2)
+        )
+        assert _buckets(legacy) == _buckets(modern)
+        assert legacy.metrics.total_cost == modern.metrics.total_cost
+
+    def test_run_where_many_backend_kwarg(self, weather, batch):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_where_many(
+                weather.rows[:40], batch, weather.functions, backend="interp"
+            )
+        modern = run_where_many(
+            weather.rows[:40],
+            batch,
+            weather.functions,
+            config=ExecutionConfig(backend="interp"),
+        )
+        assert _buckets(legacy) == _buckets(modern)
+
+    def test_query_run_workers_kwarg(self, weather, batch):
+        q = from_collection(weather.rows).where_many(batch, weather.functions)
+        with pytest.warns(DeprecationWarning):
+            legacy = q.run(workers=3)
+        q2 = from_collection(weather.rows).where_many(batch, weather.functions)
+        modern = q2.run(ExecutionConfig(workers=3))
+        assert legacy.metrics.per_worker_total == modern.metrics.per_worker_total
+
+    def test_from_collection_io_cost_kwarg(self, weather):
+        with pytest.warns(DeprecationWarning, match="io_cost_per_record"):
+            q = from_collection(weather.rows, io_cost_per_record=7)
+        assert q.config.io_cost_per_record == 7
+
+    def test_consolidate_all_parallel_kwarg(self, weather, batch):
+        with pytest.warns(DeprecationWarning, match="parallel"):
+            report = consolidate_all(batch, weather.functions, parallel=True)
+        assert report.executor == "thread"
+        assert report.parallel is True
+        with pytest.warns(DeprecationWarning):
+            serial = consolidate_all(batch, weather.functions, parallel=False)
+        assert serial.executor == "serial"
+
+    def test_jobmetrics_alias_warns(self):
+        from repro.naiad import dataflow
+
+        with pytest.warns(DeprecationWarning, match="RunMetrics"):
+            alias = dataflow.JobMetrics
+        assert alias is dataflow.RunMetrics
+
+
+class TestExecutors:
+    """thread/process pools must reproduce the serial driver's output."""
+
+    def test_programs_are_picklable(self, batch):
+        assert pickle.loads(pickle.dumps(batch[0])) == batch[0]
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pool_matches_serial(self, weather, batch, executor):
+        serial = consolidate_all(batch, weather.functions, executor="serial")
+        pooled = consolidate_all(
+            batch, weather.functions, executor=executor, max_workers=2
+        )
+        assert pooled.executor == executor
+        assert pooled.program == serial.program
+        assert pooled.pair_consolidations == serial.pair_consolidations
+        assert pooled.tree_depth == serial.tree_depth
+
+    def test_executor_recorded_in_report(self, weather, batch):
+        report = consolidate_all(batch, weather.functions, executor="thread")
+        assert report.executor == "thread"
+        assert report.max_workers >= 1
+
+    def test_unknown_executor_rejected(self, weather, batch):
+        with pytest.raises(ValueError, match="executor"):
+            consolidate_all(batch, weather.functions, executor="gpu")
+
+    def test_config_supplies_executor(self, weather, batch):
+        cfg = ExecutionConfig(executor="thread", max_workers=2)
+        report = consolidate_all(batch, weather.functions, config=cfg)
+        assert report.executor == "thread"
+
+    def test_end_to_end_process_executor(self, weather, batch):
+        cfg = ExecutionConfig(executor="process", max_workers=2)
+        serial, _ = run_where_consolidated(
+            weather.rows[:60], batch, weather.functions
+        )
+        pooled, report = run_where_consolidated(
+            weather.rows[:60], batch, weather.functions, config=cfg
+        )
+        assert report.executor == "process"
+        assert _buckets(serial) == _buckets(pooled)
+
+
+class TestTelemetryDifferential:
+    """Telemetry on vs off: identical outputs, metrics only on the side."""
+
+    def test_run_where_many_outputs_identical(self, weather, batch):
+        plain = run_where_many(weather.rows, batch, weather.functions)
+        live = ExecutionConfig(telemetry=Telemetry.capture(trace=True))
+        traced = run_where_many(weather.rows, batch, weather.functions, config=live)
+        assert _buckets(plain) == _buckets(traced)
+        assert plain.metrics.udf_cost == traced.metrics.udf_cost
+        assert plain.metrics.total_cost == traced.metrics.total_cost
+        assert plain.metrics.per_worker_total == traced.metrics.per_worker_total
+
+    def test_consolidated_outputs_identical(self, weather, batch):
+        plain, plain_rep = run_where_consolidated(
+            weather.rows, batch, weather.functions
+        )
+        live = ExecutionConfig(telemetry=Telemetry.capture())
+        traced, traced_rep = run_where_consolidated(
+            weather.rows, batch, weather.functions, config=live
+        )
+        assert _buckets(plain) == _buckets(traced)
+        assert traced_rep.program == plain_rep.program
+
+    def test_per_operator_metrics_content(self, weather, batch):
+        cfg = ExecutionConfig(telemetry=Telemetry.capture(), workers=2)
+        result = run_where_many(weather.rows, batch, weather.functions, config=cfg)
+        ops = result.metrics.per_operator
+        name = f"whereMany[{len(batch)}]"
+        assert ops[name].records_in == len(weather.rows)
+        assert ops[name].udf_cost == result.metrics.udf_cost
+        assert ops[name].notifications == sum(
+            len(rows) for rows in result.buckets.values()
+        )
+        reg = cfg.telemetry.metrics
+        assert reg.counter("dataflow_records_total").value == len(weather.rows)
+        assert (
+            reg.counter("dataflow_operator_records_in_total", operator=name).value
+            == len(weather.rows)
+        )
+
+    def test_disabled_run_skips_per_operator(self, weather, batch):
+        result = run_where_many(weather.rows, batch, weather.functions)
+        assert result.metrics.per_operator == {}
+
+    def test_smt_and_compile_metrics_recorded(self, weather, batch):
+        from repro.lang.compile import clear_compile_cache
+
+        clear_compile_cache()
+        cfg = ExecutionConfig(telemetry=Telemetry.capture())
+        run_where_consolidated(weather.rows[:20], batch, weather.functions, config=cfg)
+        reg = cfg.telemetry.metrics
+        assert reg.counter("smt_checks").value > 0
+        assert reg.histogram("smt_check_seconds").count > 0
+        assert reg.counter("compile_cache_misses_total").value > 0
+        assert reg.counter("consolidation_pairs_total").value == len(batch) - 1
+        assert reg.histogram("consolidation_pair_seconds").count == len(batch) - 1
+
+    def test_harness_rows_carry_metrics(self, weather, batch):
+        from repro.experiments.harness import run_experiment
+
+        cfg = ExecutionConfig(telemetry=Telemetry.capture(), workers=2)
+        result = run_experiment(weather, batch, family="Q1", config=cfg)
+        names = {c["name"] for c in result.metrics["counters"]}
+        assert "dataflow_records_total" in names
+        assert "smt_checks" in names
+        assert result.executor == "serial"
+        # The parent registry aggregated the child's counters too.
+        assert cfg.telemetry.metrics.counter("dataflow_runs_total").value >= 2
+
+
+class TestTelemetryOverheadPath:
+    def test_disabled_telemetry_takes_fast_path(self, weather, batch):
+        """The untraced engine never allocates OperatorStats."""
+
+        q = from_collection(weather.rows[:30]).where_many(batch, weather.functions)
+        result = q.run()
+        assert result.metrics.per_operator == {}
+
+
+PROGRAM_SRC = """
+program tiny(row) {
+  t := monthly_avg_temp(@row, 7);
+  if (t > 50) { notify tiny true; } else { notify tiny false; }
+}
+"""
+
+
+def test_parse_alias_exported():
+    import repro
+
+    p = repro.parse(PROGRAM_SRC)
+    assert p == parse_program(PROGRAM_SRC)
+    assert p.pid == "tiny"
