@@ -85,6 +85,13 @@ class IntervalConstDomain(Domain[StaticEnv]):
     def widen(self, older: StaticEnv, newer: StaticEnv) -> StaticEnv:
         return older.widen(newer, self.thresholds)
 
+    def widen_top(self, older: StaticEnv, newer: StaticEnv) -> StaticEnv:
+        # Threshold widening ascends one threshold per step; a program with
+        # more int literals than the fixpoint budget would otherwise never
+        # stabilise.  Past WIDEN_TOP_AFTER, drop the thresholds so every
+        # still-unstable bound jumps straight to ±∞.
+        return older.widen(newer, ())
+
     def leq(self, a: StaticEnv, b: StaticEnv) -> bool:
         return a.leq(b)
 

@@ -7,7 +7,10 @@ collapses into a recursive interpreter with one fixpoint per ``While``:
 * ``If`` analyses both arms under ``assume``-refined states and joins;
 * ``While`` iterates ``inv := inv ∇ (inv ⊔ post(body under inv ∧ guard))``
   until stable, applying the domain's widening after
-  :data:`WIDEN_AFTER` ascending steps, then exits under ``inv ∧ ¬guard``.
+  :data:`WIDEN_AFTER` ascending steps (and the domain's *last-resort*
+  ``widen_top`` after :data:`WIDEN_TOP_AFTER`, so slow climbs — e.g.
+  threshold widening over a constant-rich program — still terminate),
+  then exits under ``inv ∧ ¬guard``.
 
 A :class:`Domain` packages the lattice and the transfer functions; the
 interval/constant, definite-assignment and reaching-notification domains
@@ -42,12 +45,14 @@ __all__ = [
     "analyze_program",
     "loop_invariant_state",
     "WIDEN_AFTER",
+    "WIDEN_TOP_AFTER",
     "MAX_ITER",
 ]
 
 S = TypeVar("S")
 
 WIDEN_AFTER = 3
+WIDEN_TOP_AFTER = 24
 MAX_ITER = 64
 
 Visit = Callable[[Stmt, S], None]
@@ -80,6 +85,20 @@ class Domain(Generic[S]):
 
     def widen(self, older: S, newer: S) -> S:
         return self.join(older, newer)
+
+    def widen_top(self, older: S, newer: S) -> S:
+        """Last-resort widening once ``widen`` has had its chances.
+
+        ``widen`` may climb slowly toward a fixpoint (e.g. interval
+        widening-with-thresholds moves one threshold per step, and a
+        program can carry more thresholds than the iteration budget).
+        After :data:`WIDEN_TOP_AFTER` steps the framework switches to this
+        operator, which must reach a fixpoint in O(1) further steps —
+        typically by discarding any precision device (thresholds) and
+        jumping unstable components straight to top.
+        """
+
+        return self.widen(older, newer)
 
     def leq(self, a: S, b: S) -> bool:
         raise NotImplementedError
@@ -151,7 +170,12 @@ def _loop_invariant(domain: Domain[S], entry: S, loop: While) -> S:
         nxt = domain.join(entry, body_out)
         if domain.leq(nxt, inv):
             return inv
-        inv = domain.widen(inv, nxt) if iteration >= WIDEN_AFTER else nxt
+        if iteration >= WIDEN_TOP_AFTER:
+            inv = domain.widen_top(inv, nxt)
+        elif iteration >= WIDEN_AFTER:
+            inv = domain.widen(inv, nxt)
+        else:
+            inv = nxt
     # The widening contract guarantees convergence long before MAX_ITER;
     # reaching it means a domain bug, so fail loudly rather than return an
     # invariant that may not be inductive.

@@ -29,6 +29,14 @@ Commands
 
 ``latency`` — run the Section 8 latency experiment on a stock batch.
 
+``fuzz``
+    Differential fuzzing (:mod:`repro.testing`): generate random typed UDF
+    batches and run the oracle battery (interpreter vs compiled backend,
+    ``whereMany`` vs ``whereConsolidated``, executor parity, cost bounds,
+    static validation) on each.  Failures are delta-debugged to minimal
+    reproducers; ``--emit-corpus DIR`` writes them as replayable corpus
+    files.  Exit status: 0 when every case passes, 1 otherwise.
+
 Observability
 -------------
 
@@ -291,6 +299,45 @@ def cmd_latency(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .testing import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        schemas=args.schema or None,
+        size=args.size,
+        time_budget=args.time_budget,
+        emit_corpus=args.emit_corpus,
+        executors=tuple(args.executors.split(",")),
+        shrink=not args.no_shrink,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    per_schema = ", ".join(f"{k}={v}" for k, v in sorted(report.per_schema.items()))
+    print(
+        f"# fuzzed {report.cases_run} cases in {report.elapsed:.1f}s "
+        f"({per_schema}): {len(report.failures)} failure(s)",
+        file=sys.stderr,
+    )
+    for failure in report.failures:
+        print(f"FAIL {failure.spec}: oracles {', '.join(failure.oracles)}")
+        for detail in failure.details:
+            print(f"  {detail}")
+        print(f"  minimized to {failure.shrunk_size} AST nodes")
+        if failure.corpus_path:
+            print(f"  corpus file: {failure.corpus_path}")
+    args._artifact["rows"] = [
+        {
+            "spec": str(f.spec),
+            "oracles": f.oracles,
+            "shrunk_size": f.shrunk_size,
+            "corpus_path": f.corpus_path,
+        }
+        for f in report.failures
+    ]
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Consolidation of queries with UDFs (PLDI 2014 reproduction)"
@@ -385,6 +432,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--priority-index", type=int, default=7)
     p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser(
+        "fuzz", help="differential fuzzing of the whole pipeline", parents=[common]
+    )
+    p.add_argument("--seed", type=int, default=0, help="base seed (case i uses seed+i)")
+    p.add_argument("--cases", type=int, default=100, help="number of generated batches")
+    p.add_argument(
+        "--schema",
+        action="append",
+        choices=["weather", "flight", "news", "twitter", "stock"],
+        help="restrict to one schema (repeatable; default: round-robin all five)",
+    )
+    p.add_argument("--size", type=int, default=3, help="base program size knob")
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop early (without failing) after this much wall time",
+    )
+    p.add_argument(
+        "--emit-corpus",
+        metavar="DIR",
+        default=None,
+        help="write each minimized failure as a corpus file into DIR",
+    )
+    p.add_argument(
+        "--executors",
+        default="serial,thread",
+        help="comma-separated consolidate_all executors to cross-check "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures raw, without delta-debugging them first",
+    )
+    p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

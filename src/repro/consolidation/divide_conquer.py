@@ -46,17 +46,38 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..lang.ast import Program
+from ..lang.ast import Program, seq
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..lang.functions import FunctionTable, LibraryFunction
+from ..lang.visitors import notified_pids, rename_locals
 from ..smt.solver import Solver
 from ..telemetry import NULL_TELEMETRY
-from .algorithm import ConsolidationOptions, Consolidator
+from .algorithm import ConsolidationError, ConsolidationOptions, Consolidator
 from .simplifier import SimplifyStats
 
-__all__ = ["ConsolidationReport", "consolidate_all"]
+__all__ = ["ConsolidationReport", "consolidate_all", "FAULT_HOOK", "SMT_UNKNOWN_NOTE"]
 
 _EXECUTORS = ("serial", "thread", "process")
+
+# Prefix of the ConsolidationReport.degradations entry recording that the
+# SMT solver answered "unknown" during the batch.  Unlike a skipped pair or
+# a broken pool, this degradation is deterministic (the same batch always
+# produces it) and purely a precision loss, so differential checks that
+# compare executors can recognise and ignore it.
+SMT_UNKNOWN_NOTE = "SMT solver returned unknown"
+
+# Fault-injection seam (see repro.testing.faults).  Sites:
+#   ("consolidate.pair", (a, b))   — consulted before each in-process pair
+#                                    merge; raising simulates a mid-batch
+#                                    failure, which must *degrade* (keep the
+#                                    pair unmerged), never escape;
+#   ("consolidate.worker", (a, b)) — consulted inside the process-pool
+#                                    worker; raising (or ``os._exit``-ing,
+#                                    which kills the worker and breaks the
+#                                    pool) must make the driver redo the
+#                                    level serially.
+# None — the production value — costs one attribute read per pair.
+FAULT_HOOK = None
 
 
 @dataclass
@@ -71,6 +92,15 @@ class ConsolidationReport:
     (abstract-env pre-check skips, memo hits) over every pair;
     ``validations`` holds one static-validation certificate per pair when
     ``options.static_validate`` is on.
+
+    ``skipped_pairs`` records every pair merge that failed mid-batch and
+    was replaced by the sequential composition of its two inputs (one
+    ``{"left", "right", "reason"}`` dict per skip); ``degradations`` is a
+    log of coarser fallbacks (a broken process pool redone serially, or the
+    :data:`SMT_UNKNOWN_NOTE` entry when the solver answered "unknown" and
+    rewrites were skipped conservatively).  The driver *never* raises for
+    these — the result is still a correct program, just less consolidated —
+    so callers must consult :attr:`degraded` when they care.
     """
 
     program: Program
@@ -84,12 +114,20 @@ class ConsolidationReport:
     executor: str = "serial"
     simplify_stats: dict = field(default_factory=dict)
     validations: list = field(default_factory=list)
+    skipped_pairs: list = field(default_factory=list)
+    degradations: list = field(default_factory=list)
 
     @property
     def all_certified(self) -> bool:
         """Every pair statically certified (vacuously True when not validated)."""
 
         return all(v.certified for v in self.validations)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pair was kept unmerged or any executor fell back."""
+
+        return bool(self.skipped_pairs or self.degradations)
 
 
 def _cluster_by_features(programs: list[Program]) -> list[Program]:
@@ -137,10 +175,26 @@ def _table_from_spec(spec: tuple) -> FunctionTable:
     )
 
 
+def _sequential_pair(a: Program, b: Program) -> Program:
+    """The sequential baseline for one pair: run ``a`` then ``b`` unmerged.
+
+    This is exactly what the paper's Ω produces when no rule applies — the
+    two bodies concatenated after the mechanical disjoint-locals renaming —
+    so notifications are the disjoint union and the cost is the sum of the
+    originals, never worse than running the pair separately.  It is the
+    fallback the driver substitutes when a pair merge fails mid-batch.
+    """
+
+    qa, qb = rename_locals(a), rename_locals(b)
+    return Program(f"{a.pid}&{b.pid}", a.params, seq(qa.body, qb.body))
+
+
 def _merge_pair_task(payload: tuple):
     """Top-level (hence picklable) pair-merge job for the process pool."""
 
     a, b, spec, cost_model, options = payload
+    if FAULT_HOOK is not None:
+        FAULT_HOOK("consolidate.worker", (a, b))
     worker = Consolidator(_table_from_spec(spec), cost_model, options)
     merged = worker.consolidate(a, b)
     return (
@@ -185,6 +239,22 @@ def consolidate_all(
     if order not in ("tree", "fold", "priority", "clustered"):
         raise ValueError(f"unknown order {order!r}")
 
+    # Batch-level preconditions are checked up front so misuse still raises
+    # eagerly; once they hold, any *mid-batch* failure (solver crash, refuted
+    # validation, dead worker) degrades to the sequential baseline instead.
+    seen_pids: dict[str, str] = {}
+    for p in programs:
+        if p.params != programs[0].params:
+            raise ConsolidationError(
+                f"programs take different inputs: {programs[0].params} vs {p.params}"
+            )
+        for pid in notified_pids(p.body):
+            if pid in seen_pids:
+                raise ConsolidationError(
+                    f"programs {seen_pids[pid]!r} and {p.pid!r} share notification id {pid!r}"
+                )
+            seen_pids[pid] = p.pid
+
     if parallel is not None:
         from ..config import deprecated_kwarg
 
@@ -225,13 +295,34 @@ def consolidate_all(
         for rule in trace:
             rule_counts[rule] = rule_counts.get(rule, 0) + 1
 
+    skipped: list[dict] = []
+    degradations: list[str] = []
+
     def merge(a: Program, b: Program) -> Program:
         # A fresh Consolidator per pair keeps traces separate; the shared
         # solver keeps the entailment cache warm across pairs, and the
         # shared stats object aggregates fast-path counters batch-wide.
-        worker = Consolidator(functions, cost_model, options, solver, stats)
-        with telemetry.span("consolidate.pair", left=a.pid, right=b.pid):
-            merged = worker.consolidate(a, b)
+        # Any failure here — a solver crash escaping as an exception, a
+        # refuted static validation, an injected fault — keeps the pair
+        # unmerged (the sequential baseline is always correct) and records
+        # the skip; the batch never dies for one pair.
+        try:
+            if FAULT_HOOK is not None:
+                FAULT_HOOK("consolidate.pair", (a, b))
+            worker = Consolidator(functions, cost_model, options, solver, stats)
+            with telemetry.span("consolidate.pair", left=a.pid, right=b.pid):
+                merged = worker.consolidate(a, b)
+        except Exception as exc:  # noqa: BLE001 - degrade, never crash mid-batch
+            skipped.append(
+                {
+                    "left": a.pid,
+                    "right": b.pid,
+                    "reason": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            if telemetry.enabled:
+                registry.counter("consolidation_skipped_pairs_total").inc()
+            return _sequential_pair(a, b)
         record_pair(worker.trace, worker.last_duration)
         if worker.last_validation is not None:
             validations.append(worker.last_validation)
@@ -267,13 +358,14 @@ def consolidate_all(
                     depth += 1
                 result = acc
             else:
+                pool_broken = False
                 while len(level) > 1:
                     depth += 1
                     pairings = [
                         (level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
                     ]
                     carried = [level[-1]] if len(level) % 2 else []
-                    if executor != "serial" and len(pairings) > 1:
+                    if executor != "serial" and len(pairings) > 1 and not pool_broken:
                         if pool is None:
                             pool_cls = (
                                 ThreadPoolExecutor
@@ -287,10 +379,31 @@ def consolidate_all(
                             payloads = [
                                 (a, b, spec, cost_model, options) for a, b in pairings
                             ]
-                            merged = [
-                                absorb_task(r)
-                                for r in pool.map(_merge_pair_task, payloads)
-                            ]
+                            try:
+                                # Drain the whole level before absorbing any
+                                # result, so a failure absorbs nothing and the
+                                # serial redo cannot double-count stats.
+                                raw = list(pool.map(_merge_pair_task, payloads))
+                            except Exception as exc:  # noqa: BLE001 - dead worker / task crash
+                                # A worker died (BrokenProcessPool) or a task
+                                # raised; the pool is no longer trustworthy.
+                                # Redo this level in-process — merge() still
+                                # degrades per pair — and stay serial for the
+                                # remaining levels.
+                                degradations.append(
+                                    f"process pool failed at depth {depth} "
+                                    f"({type(exc).__name__}: {exc}); completed serially"
+                                )
+                                if telemetry.enabled:
+                                    registry.counter(
+                                        "consolidation_executor_degradations_total"
+                                    ).inc()
+                                pool.shutdown(wait=False)
+                                pool = None
+                                pool_broken = True
+                                merged = [merge(a, b) for a, b in pairings]
+                            else:
+                                merged = [absorb_task(r) for r in raw]
                     else:
                         merged = [merge(a, b) for a, b in pairings]
                     pairs += len(pairings)
@@ -304,6 +417,15 @@ def consolidate_all(
     for key, value in extra_solver_stats.items():
         solver_stats[key] = solver_stats.get(key, 0) + value
     simplify_snapshot = stats.snapshot()
+
+    if solver_stats.get("unknowns"):
+        # "unknown" is answered as "not entailed": each affected rewrite is
+        # conservatively skipped, never mis-applied.  Surface the precision
+        # loss so callers can tell a clean batch from a degraded one.
+        degradations.append(
+            f"{SMT_UNKNOWN_NOTE} {solver_stats['unknowns']} time(s); "
+            "the affected rewrites were skipped conservatively"
+        )
 
     if telemetry.enabled:
         registry.counter("consolidation_batches_total").inc()
@@ -334,4 +456,6 @@ def consolidate_all(
         executor=executor,
         simplify_stats=simplify_snapshot,
         validations=validations,
+        skipped_pairs=skipped,
+        degradations=degradations,
     )

@@ -90,9 +90,21 @@ __all__ = [
     "compile_cached",
     "clear_compile_cache",
     "make_runner",
+    "FAULT_HOOK",
 ]
 
 logger = logging.getLogger(__name__)
+
+# Fault-injection seam (see repro.testing.faults).  Sites:
+#   ("compile.translate", program)    — may raise CompileError to force the
+#                                       interpreter fallback;
+#   ("compile.cache_lookup", program) — truthy return forces a cache miss;
+#   ("compile.finish", program)       — may return a CompiledProgram
+#                                       transformer, modelling a miscompile
+#                                       (the differential oracle must catch
+#                                       the corrupted output).
+# None — the production value — costs one attribute read per site.
+FAULT_HOOK = None
 
 BACKENDS = ("interp", "compiled")
 DEFAULT_BACKEND = "compiled"
@@ -551,6 +563,8 @@ def compile_program(
     the interpreter, which reproduces the corresponding dynamic error lazily.
     """
 
+    if FAULT_HOOK is not None:
+        FAULT_HOOK("compile.translate", program)
     emitter = _Emitter(functions, cost_model, memoize_calls)
     try:
         source = emitter.build(program)
@@ -561,12 +575,17 @@ def compile_program(
         raise CompileError(f"cannot compile {program.pid}: {exc}") from exc
     namespace = dict(emitter.bindings)
     exec(code, namespace)  # noqa: S102 - source is generated above, not user input
-    return CompiledProgram(
+    compiled = CompiledProgram(
         program=program,
         source=source,
         max_steps=max_steps,
         _fn=namespace["_compiled_run"],
     )
+    if FAULT_HOOK is not None:
+        transform = FAULT_HOOK("compile.finish", program)
+        if transform is not None:
+            compiled = transform(compiled)
+    return compiled
 
 
 # One cache bucket per function table (weak, so dropping a dataset frees
@@ -596,6 +615,9 @@ def compile_cached(
         per_table = _CACHE.setdefault(functions, {})
     key = (program, cost_model, memoize_calls, max_steps)
     compiled = per_table.get(key)
+    if compiled is not None and FAULT_HOOK is not None:
+        if FAULT_HOOK("compile.cache_lookup", program):
+            compiled = None
     live = telemetry is not None and telemetry.enabled
     if compiled is None:
         if live:

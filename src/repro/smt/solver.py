@@ -34,9 +34,17 @@ from .terms import (
     for_,
 )
 
-__all__ = ["Solver", "SolverStats", "CheckResult"]
+__all__ = ["Solver", "SolverStats", "CheckResult", "FAULT_HOOK"]
 
 CheckResult = str  # 'sat' | 'unsat' | 'unknown'
+
+# Fault-injection seam (see repro.testing.faults).  When set, the hook is
+# called as ``FAULT_HOOK("smt.check", formula)`` on every memo-miss check;
+# it may return a forced CheckResult ('unknown' models budget exhaustion),
+# raise (a solver crash escaping as an exception), or return None to let
+# the real check run.  ``None`` — the production value — costs one module
+# attribute read per uncached check.
+FAULT_HOOK = None
 
 
 @dataclass
@@ -47,6 +55,7 @@ class SolverStats:
     cache_hits: int = 0
     theory_rounds: int = 0
     sat_calls: int = 0
+    unknowns: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -54,6 +63,7 @@ class SolverStats:
             "cache_hits": self.cache_hits,
             "theory_rounds": self.theory_rounds,
             "sat_calls": self.sat_calls,
+            "unknowns": self.unknowns,
         }
 
 
@@ -100,6 +110,11 @@ class Solver:
             )
         else:
             result = self._check(f)
+        if result == "unknown":
+            # Budget exhaustion / incompleteness: the caller treats this as
+            # "cannot prove", skipping an optimisation.  Counted so batch
+            # reports can show *why* a consolidation was less aggressive.
+            self.stats.unknowns += 1
         if len(self._sat_cache) < self.cache_size:
             self._sat_cache[f] = result
         return result
@@ -137,6 +152,10 @@ class Solver:
     # -- the DPLL(T) loop ----------------------------------------------------
 
     def _check(self, f: Formula) -> CheckResult:
+        if FAULT_HOOK is not None:
+            forced = FAULT_HOOK("smt.check", f)
+            if forced is not None:
+                return forced
         if isinstance(f, type(TRUE_F)):
             return "sat"
         if isinstance(f, type(FALSE_F)):

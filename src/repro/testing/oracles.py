@@ -1,0 +1,324 @@
+"""The differential oracle battery.
+
+One generated (or corpus) batch of UDFs is pushed through every redundant
+execution path the repository has, and every pair of paths that must agree
+is checked:
+
+* **interp vs compiled** — each program runs on every input under the
+  tree-walking interpreter and the compiled backend; environments,
+  notifications, *exact* cost and per-pid notification latencies must all
+  match (or both paths must fail with the same error class);
+* **whereMany vs whereConsolidated** — the batch runs through the dataflow
+  engine both unconsolidated and consolidated; the per-pid result buckets
+  must be identical and the consolidated UDF cost must obey the
+  cost-never-worse bound (Theorem 2);
+* **serial vs thread vs process** — ``consolidate_all`` is deterministic,
+  so all executors must produce the *structurally identical* merged
+  program;
+* **check_soundness** — Definition 1 re-checked directly on the merged
+  program (notification equality + cost bound per input);
+* **validate_consolidation** — the static validator must not *refute* the
+  merge (``unknown`` is acceptable: it is the validator giving up, not a
+  counterexample).
+
+Every disagreement comes back as a :class:`Discrepancy`; an empty list is
+the oracle saying "all paths agree on this case".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..config import ExecutionConfig
+from ..consolidation.divide_conquer import (
+    SMT_UNKNOWN_NOTE,
+    ConsolidationReport,
+    consolidate_all,
+)
+from ..datasets.records import Dataset
+from ..lang.ast import Program
+from ..lang.compile import make_runner
+from ..lang.cost import DEFAULT_COST_MODEL, CostModel
+from ..lang.interp import Interpreter
+from ..naiad.linq import run_where_consolidated, run_where_many
+
+__all__ = ["Discrepancy", "BatteryResult", "run_battery"]
+
+
+@dataclass
+class Discrepancy:
+    """One disagreement between two execution paths that must agree."""
+
+    oracle: str  # 'backend' | 'dataflow' | 'executor' | 'soundness' | 'validator'
+    detail: str
+    args: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+@dataclass
+class BatteryResult:
+    """Everything one battery run observed (kept for reporting/shrinking)."""
+
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+    report: ConsolidationReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+
+def _run_or_error(runner, args):
+    """Run one path; normalise the outcome to (result, error-class-name)."""
+
+    try:
+        return runner(args), None
+    except Exception as exc:  # noqa: BLE001 - the *class* is the observable
+        return None, type(exc).__name__
+
+
+def _check_backends(
+    programs: Sequence[Program],
+    dataset: Dataset,
+    inputs: Sequence[Mapping[str, object]],
+    cost_model: CostModel,
+    out: list[Discrepancy],
+) -> None:
+    interp = Interpreter(dataset.functions, cost_model)
+    for program in programs:
+        compiled = make_runner(
+            program, dataset.functions, cost_model, backend="compiled"
+        )
+        for args in inputs:
+            want, want_err = _run_or_error(
+                lambda a, p=program: interp.run(p, a), args
+            )
+            got, got_err = _run_or_error(compiled, args)
+            if want_err or got_err:
+                if want_err != got_err:
+                    out.append(
+                        Discrepancy(
+                            "backend",
+                            f"{program.pid}: interp error {want_err}, "
+                            f"compiled error {got_err}",
+                            dict(args),
+                        )
+                    )
+                continue
+            if want.notifications != got.notifications:
+                out.append(
+                    Discrepancy(
+                        "backend",
+                        f"{program.pid}: notifications differ: "
+                        f"interp {want.notifications} vs compiled {got.notifications}",
+                        dict(args),
+                    )
+                )
+            elif want.cost != got.cost:
+                out.append(
+                    Discrepancy(
+                        "backend",
+                        f"{program.pid}: cost differs: interp {want.cost} "
+                        f"vs compiled {got.cost}",
+                        dict(args),
+                    )
+                )
+            elif want.notification_costs != got.notification_costs:
+                out.append(
+                    Discrepancy(
+                        "backend",
+                        f"{program.pid}: notification latencies differ: "
+                        f"interp {want.notification_costs} vs "
+                        f"compiled {got.notification_costs}",
+                        dict(args),
+                    )
+                )
+            elif want.env != got.env:
+                out.append(
+                    Discrepancy(
+                        "backend",
+                        f"{program.pid}: final environments differ",
+                        dict(args),
+                    )
+                )
+
+
+def _check_dataflow(
+    programs: Sequence[Program],
+    dataset: Dataset,
+    rows: Sequence[object],
+    cost_model: CostModel,
+    out: list[Discrepancy],
+) -> ConsolidationReport | None:
+    config = ExecutionConfig(cost_model=cost_model)
+    try:
+        many = run_where_many(rows, programs, dataset.functions, config=config)
+        consolidated, report = run_where_consolidated(
+            rows, programs, dataset.functions, config=config
+        )
+    except Exception as exc:  # noqa: BLE001 - a crash in either path is a finding
+        out.append(
+            Discrepancy("dataflow", f"dataflow run raised {type(exc).__name__}: {exc}")
+        )
+        return None
+    pids = [p.pid for p in programs]
+    for pid in pids:
+        a = many.buckets.get(pid, [])
+        b = consolidated.buckets.get(pid, [])
+        if a != b:
+            out.append(
+                Discrepancy(
+                    "dataflow",
+                    f"bucket {pid!r} differs: whereMany {a!r} "
+                    f"vs whereConsolidated {b!r}",
+                )
+            )
+    if consolidated.metrics.udf_cost > many.metrics.udf_cost:
+        out.append(
+            Discrepancy(
+                "dataflow",
+                "cost-never-worse violated: consolidated UDF cost "
+                f"{consolidated.metrics.udf_cost} > whereMany "
+                f"{many.metrics.udf_cost}",
+            )
+        )
+    return report
+
+
+def _check_executors(
+    programs: Sequence[Program],
+    dataset: Dataset,
+    cost_model: CostModel,
+    executors: Sequence[str],
+    out: list[Discrepancy],
+) -> None:
+    if len(programs) < 2 or len(executors) < 2:
+        return
+    reference = None
+    for executor in executors:
+        try:
+            report = consolidate_all(
+                list(programs),
+                dataset.functions,
+                cost_model,
+                executor=executor,
+            )
+        except Exception as exc:  # noqa: BLE001
+            out.append(
+                Discrepancy(
+                    "executor",
+                    f"consolidate_all(executor={executor!r}) raised "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        # The SMT-unknown note is deterministic precision loss, identical
+        # across executors — not an executor-specific fallback.
+        hard = report.skipped_pairs or [
+            d for d in report.degradations if not d.startswith(SMT_UNKNOWN_NOTE)
+        ]
+        if hard:
+            out.append(
+                Discrepancy(
+                    "executor",
+                    f"executor {executor!r} degraded unexpectedly: {hard}",
+                )
+            )
+        if reference is None:
+            reference = (executor, report.program)
+        elif report.program != reference[1]:
+            out.append(
+                Discrepancy(
+                    "executor",
+                    f"merged programs differ between executors "
+                    f"{reference[0]!r} and {executor!r}",
+                )
+            )
+
+
+def _check_soundness(
+    programs: Sequence[Program],
+    report: ConsolidationReport,
+    dataset: Dataset,
+    inputs: Sequence[Mapping[str, object]],
+    cost_model: CostModel,
+    out: list[Discrepancy],
+) -> None:
+    from ..consolidation.verify import check_soundness
+
+    sound = check_soundness(
+        list(programs), report.program, dataset.functions, inputs, cost_model
+    )
+    for violation in sound.violations:
+        out.append(
+            Discrepancy(
+                "soundness",
+                f"{violation.kind}: {violation.detail}",
+                dict(violation.args),
+            )
+        )
+
+
+def _check_validator(
+    programs: Sequence[Program],
+    report: ConsolidationReport,
+    dataset: Dataset,
+    cost_model: CostModel,
+    out: list[Discrepancy],
+) -> None:
+    try:
+        from ..analysis.static import validate_consolidation
+
+        validation = validate_consolidation(
+            list(programs), report.program, dataset.functions, cost_model
+        )
+    except Exception as exc:  # noqa: BLE001 - the validator crashing is a finding
+        out.append(
+            Discrepancy(
+                "validator", f"validate_consolidation raised {type(exc).__name__}: {exc}"
+            )
+        )
+        return
+    if validation.refuted:
+        out.append(
+            Discrepancy(
+                "validator",
+                "static validator refuted the merge: "
+                + "; ".join(validation.details),
+            )
+        )
+
+
+def run_battery(
+    programs: Sequence[Program],
+    dataset: Dataset,
+    inputs: Sequence[Mapping[str, object]] | None = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    executors: Sequence[str] = ("serial", "thread"),
+    check_validator: bool = True,
+) -> BatteryResult:
+    """Run every differential oracle over one batch; collect disagreements.
+
+    ``inputs`` defaults to a spread of the dataset's rows.  ``executors``
+    controls the ``consolidate_all`` parity check (pass all three of
+    ``("serial", "thread", "process")`` for the full, slower sweep).
+    """
+
+    if inputs is None:
+        step = max(1, len(dataset.rows) // 6)
+        inputs = [{programs[0].params[0]: r} for r in dataset.rows[::step][:6]]
+    rows = [args[programs[0].params[0]] for args in inputs]
+    result = BatteryResult()
+    out = result.discrepancies
+
+    _check_backends(programs, dataset, inputs, cost_model, out)
+    report = _check_dataflow(programs, dataset, rows, cost_model, out)
+    result.report = report
+    _check_executors(programs, dataset, cost_model, executors, out)
+    if report is not None:
+        _check_soundness(programs, report, dataset, inputs, cost_model, out)
+        if check_validator:
+            _check_validator(programs, report, dataset, cost_model, out)
+    return result

@@ -1,0 +1,198 @@
+"""Greedy delta-debugging over UDF batches.
+
+Given a failing batch and a predicate that re-checks the failure, shrink
+to a local minimum: first drop whole programs, then repeatedly apply the
+single most aggressive structural reduction that keeps the predicate true
+(delete a statement, replace a branch by one arm, unroll a loop to its
+body, collapse a sub-expression to a constant) until nothing smaller still
+fails.
+
+The predicate is the arbiter of validity: a reduction may orphan a
+variable or drop a ``notify`` — if that changes the failure (or masks it),
+the predicate returns False and the candidate is discarded.  Reductions
+are yielded most-aggressive-first so big subtrees disappear in few
+predicate calls, and the total number of predicate invocations is bounded
+by ``max_checks`` (each one typically re-runs the oracle battery, which is
+the expensive part).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from ..lang.ast import (
+    Assign,
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Call,
+    Cmp,
+    Expr,
+    If,
+    IntConst,
+    Not,
+    Notify,
+    Program,
+    SKIP,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+    seq,
+)
+from ..lang.visitors import notified_pids, stmt_size
+
+__all__ = ["shrink_batch", "batch_size"]
+
+
+def batch_size(programs: Sequence[Program]) -> int:
+    """Total AST node count across the batch (the minimisation metric)."""
+
+    return sum(stmt_size(p.body) for p in programs)
+
+
+_BOOLISH = (Cmp, Not, BoolOp, BoolConst)
+
+
+def _min_consts(e: Expr) -> Iterator[Expr]:
+    """The smallest replacements of ``e``'s (syntactic) sort."""
+
+    if isinstance(e, _BOOLISH):
+        if not isinstance(e, BoolConst):
+            yield BoolConst(True)
+            yield BoolConst(False)
+    elif not isinstance(e, IntConst):
+        yield IntConst(0)
+
+
+def _expr_reductions(e: Expr) -> Iterator[Expr]:
+    """Strictly smaller variants of ``e``, most aggressive first."""
+
+    yield from _min_consts(e)
+    if isinstance(e, BinOp):
+        yield e.left
+        yield e.right
+        for red in _expr_reductions(e.left):
+            yield BinOp(e.op, red, e.right)
+        for red in _expr_reductions(e.right):
+            yield BinOp(e.op, e.left, red)
+    elif isinstance(e, Cmp):
+        for red in _expr_reductions(e.left):
+            yield Cmp(e.op, red, e.right)
+        for red in _expr_reductions(e.right):
+            yield Cmp(e.op, e.left, red)
+    elif isinstance(e, Not):
+        if isinstance(e.operand, _BOOLISH):
+            yield e.operand
+        for red in _expr_reductions(e.operand):
+            yield Not(red)
+    elif isinstance(e, BoolOp):
+        yield e.left
+        yield e.right
+        for red in _expr_reductions(e.left):
+            yield BoolOp(e.op, red, e.right)
+        for red in _expr_reductions(e.right):
+            yield BoolOp(e.op, e.left, red)
+    elif isinstance(e, Call):
+        for i, a in enumerate(e.args):
+            for red in _expr_reductions(a):
+                yield Call(e.func, e.args[:i] + (red,) + e.args[i + 1 :])
+
+
+def _stmt_reductions(s: Stmt) -> Iterator[Stmt]:
+    """Strictly smaller variants of ``s``, most aggressive first."""
+
+    if isinstance(s, Skip):
+        return
+    if isinstance(s, Seq):
+        # Drop each element (biggest first), then reduce in place.
+        order = sorted(range(len(s.stmts)), key=lambda i: -stmt_size(s.stmts[i]))
+        for i in order:
+            yield seq(*(s.stmts[:i] + s.stmts[i + 1 :]))
+        for i in order:
+            for red in _stmt_reductions(s.stmts[i]):
+                yield seq(*(s.stmts[:i] + (red,) + s.stmts[i + 1 :]))
+        return
+    if isinstance(s, Assign):
+        for red in _expr_reductions(s.expr):
+            yield Assign(s.var, red)
+        return
+    if isinstance(s, Notify):
+        for red in _expr_reductions(s.expr):
+            yield Notify(s.pid, red)
+        return
+    if isinstance(s, If):
+        yield s.then
+        yield s.orelse
+        for red in _stmt_reductions(s.then):
+            yield If(s.cond, red, s.orelse)
+        for red in _stmt_reductions(s.orelse):
+            yield If(s.cond, s.then, red)
+        for red in _expr_reductions(s.cond):
+            yield If(red, s.then, s.orelse)
+        return
+    if isinstance(s, While):
+        yield SKIP
+        yield s.body
+        for red in _stmt_reductions(s.body):
+            yield While(s.cond, red)
+        for red in _expr_reductions(s.cond):
+            yield While(red, s.body)
+        return
+
+
+def shrink_batch(
+    programs: Sequence[Program],
+    is_failing: Callable[[list[Program]], bool],
+    max_checks: int = 2000,
+) -> list[Program]:
+    """Minimise a failing batch while ``is_failing`` stays true.
+
+    Returns the smallest batch found; the input is returned unchanged if
+    the predicate does not even hold on it (nothing to minimise).
+    """
+
+    best = list(programs)
+    if not is_failing(best):
+        return best
+    checks = [max_checks]
+    # Each surviving program must keep its notification interface: a UDF
+    # that no longer notifies its pid is malformed for the dataflow
+    # operators, and the crash it causes would masquerade as the original
+    # failure.  (Dropping a *whole* program removes its pids — that's fine.)
+    interface = {p.pid: notified_pids(p.body) for p in programs}
+
+    def try_candidate(candidate: list[Program]) -> bool:
+        if checks[0] <= 0:
+            return False
+        for p in candidate:
+            if notified_pids(p.body) != interface[p.pid]:
+                return False
+        checks[0] -= 1
+        return is_failing(candidate)
+
+    improved = True
+    while improved and checks[0] > 0:
+        improved = False
+        # 1. Drop whole programs, biggest first.
+        if len(best) > 1:
+            order = sorted(range(len(best)), key=lambda i: -stmt_size(best[i].body))
+            for i in order:
+                candidate = best[:i] + best[i + 1 :]
+                if try_candidate(candidate):
+                    best = candidate
+                    improved = True
+                    break
+            if improved:
+                continue
+        # 2. One structural reduction inside one program.
+        for i, p in enumerate(best):
+            for body in _stmt_reductions(p.body):
+                candidate = best[:i] + [Program(p.pid, p.params, body)] + best[i + 1 :]
+                if try_candidate(candidate):
+                    best = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+    return best

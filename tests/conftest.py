@@ -1,0 +1,30 @@
+"""Shared test configuration: hypothesis profiles.
+
+Two named profiles, selected with ``HYPOTHESIS_PROFILE`` (default
+``dev``):
+
+* ``ci`` — derandomized (the failing example set is stable across runs,
+  so a red CI job is reproducible locally from the printed seed) with an
+  explicit generous deadline: shared CI runners are slow and jittery, and
+  a flaky deadline failure tells us nothing about the code under test.
+* ``dev`` — the local profile: random exploration on every run (new
+  examples each time surface new bugs), no deadline so a debugger or a
+  cold cache never trips it.
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
+else:
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=2000,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.consolidation import ConsolidationOptions, check_soundness, consolidate_all
 from repro.datasets import generate_news, generate_stocks
 from repro.experiments import (

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.experiments import (
     ExperimentResult,
     Figure9Report,

@@ -3,6 +3,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.consolidation import check_soundness, consolidate_all
 from repro.datasets import generate_stocks
 from repro.experiments import run_latency_experiment

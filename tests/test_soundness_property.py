@@ -158,6 +158,7 @@ def test_modes_smoke(mode):
     assert report.ok, report.violations
 
 
+@pytest.mark.slow
 @given(udf_programs("q1"), udf_programs("q2"), st.lists(st.tuples(st.integers(-6, 6), st.integers(-6, 6)), min_size=3, max_size=6))
 @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
 def test_consolidation_sound_on_random_programs(p1, p2, points):
@@ -177,6 +178,7 @@ def test_consolidation_sound_without_smt(p1, p2, points):
     assert report.ok, report.violations
 
 
+@pytest.mark.slow
 @given(udf_programs("q1"), udf_programs("q2"), st.lists(st.tuples(st.integers(-6, 6), st.integers(-6, 6)), min_size=2, max_size=4))
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
 def test_consolidation_sound_if3_mode(p1, p2, points):

@@ -337,3 +337,57 @@ def test_lint_five_domain_families_are_clean():
             for p in module.make_batch(ds, family, n=3, seed=1):
                 report = lint_program(p, ds.functions)
                 assert not report.findings, (domain, family, report.findings)
+
+
+class TestWideningConvergence:
+    """Regression: threshold widening ascends one threshold per fixpoint
+    iteration, so a constant-rich program (more thresholds than the
+    iteration budget) used to make ``_loop_invariant`` raise "abstract
+    fixpoint did not converge".  Found by differential fuzzing on merged
+    batches (``repro fuzz``, seeds 10/12); fixed by the ``widen_top``
+    cutoff that drops the thresholds after ``WIDEN_TOP_AFTER`` steps.
+    """
+
+    def constant_rich_loop(self, n_consts=40):
+        stmts = [assign(f"c{i}", lift(7 + 3 * i)) for i in range(n_consts)]
+        stmts.append(assign("v", lift(0)))
+        stmts.append(while_(lt(var("v"), lift(1000)), assign("v", add(var("v"), lift(1)))))
+        stmts.append(notify("q0", lt(var("v"), lift(2000))))
+        return program("q0", ("row",), *stmts)
+
+    def test_constant_rich_program_converges(self):
+        p = self.constant_rich_loop()
+        assert len(widening_thresholds(p)) > 64, "the trigger needs many thresholds"
+        state = analyze_program(IntervalConstDomain.for_program(p), p)
+        iv = state.ints.get(var("v"))
+        # Sound after the loop: the exit refinement keeps the lower bound.
+        assert iv is not None and iv.lo is not None and iv.lo >= 1000
+
+    def test_divergence_without_the_cutoff(self):
+        """Documents the bug: with widen_top disabled the fixpoint dies."""
+
+        from repro.analysis.static import framework
+
+        p = self.constant_rich_loop()
+        domain = IntervalConstDomain.for_program(p)
+        original = framework.WIDEN_TOP_AFTER
+        framework.WIDEN_TOP_AFTER = framework.MAX_ITER  # never reached
+        try:
+            with pytest.raises(RuntimeError, match="did not converge"):
+                analyze_program(domain, p)
+        finally:
+            framework.WIDEN_TOP_AFTER = original
+
+    def test_bounded_loops_keep_their_precision(self):
+        """The cutoff must not cost the month-loop its tight bound."""
+
+        p = program(
+            "q0",
+            ("row",),
+            assign("m", lift(1)),
+            while_(le(var("m"), lift(12)), assign("m", add(var("m"), lift(1)))),
+            notify("q0", lt(var("m"), lift(100))),
+        )
+        state = analyze_program(IntervalConstDomain.for_program(p), p)
+        iv = state.ints.get(var("m"))
+        assert iv is not None and iv.lo == 13 and iv.hi == 13

@@ -1,0 +1,63 @@
+"""The typed random program generator: replayability and well-formedness."""
+
+import pytest
+
+from repro.lang.ast import Program
+from repro.lang.interp import Interpreter
+from repro.lang.visitors import notified_pids, stmt_size
+from repro.testing import SCHEMAS, case_inputs, generate_case, schema_dataset
+
+SPECS = [(seed, schema, size) for seed in (0, 7) for schema in sorted(SCHEMAS) for size in (1, 3)]
+
+
+@pytest.mark.parametrize("seed,schema,size", SPECS)
+def test_generation_is_deterministic(seed, schema, size):
+    first = generate_case(seed, schema, size)
+    second = generate_case(seed, schema, size)
+    assert first == second  # frozen dataclasses: structural equality
+
+
+def test_different_seeds_differ():
+    assert generate_case(0, "weather", 3) != generate_case(1, "weather", 3)
+
+
+@pytest.mark.parametrize("seed,schema,size", SPECS)
+def test_batches_are_well_formed(seed, schema, size):
+    programs = generate_case(seed, schema, size)
+    assert len(programs) >= 2
+    pids = [p.pid for p in programs]
+    assert len(set(pids)) == len(pids), "batch pids must be disjoint"
+    for p in programs:
+        assert isinstance(p, Program)
+        assert p.params == ("row",)
+        # Exactly one notification target: the program's own pid.
+        assert notified_pids(p.body) == {p.pid}
+        assert stmt_size(p.body) >= 1
+
+
+@pytest.mark.parametrize("schema", sorted(SCHEMAS))
+def test_programs_run_on_their_schema(schema):
+    """Totality: every generated program terminates and notifies once."""
+
+    dataset = schema_dataset(schema)
+    interp = Interpreter(dataset.functions)
+    inputs = case_inputs(schema)
+    assert inputs, "every schema must supply sample inputs"
+    for seed in range(5):
+        for p in generate_case(seed, schema, 3):
+            for args in inputs:
+                result = interp.run(p, args)
+                assert set(result.notifications) == {p.pid}
+                assert isinstance(result.notifications[p.pid], bool)
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ValueError, match="unknown schema"):
+        generate_case(0, "nope", 2)
+    with pytest.raises(ValueError, match="unknown schema"):
+        schema_dataset("nope")
+
+
+def test_n_programs_pin():
+    programs = generate_case(3, "stock", 2, n_programs=4)
+    assert len(programs) == 4
