@@ -29,6 +29,14 @@ Commands
 
 ``latency`` — run the Section 8 latency experiment on a stock batch.
 
+``explain``
+    Derivation explain-plan (:mod:`repro.provenance`): consolidate one
+    pair from a domain's generated batch with provenance recording on,
+    execute it instrumented, and render every calculus-rule application,
+    SMT entailment (with its Ψ context), cross-simplification rewrite and
+    predicted-vs-actual operator cost as a text tree, JSON document or a
+    self-contained HTML report (``--format``, ``--out``).
+
 ``fuzz``
     Differential fuzzing (:mod:`repro.testing`): generate random typed UDF
     batches and run the oracle battery (interpreter vs compiled backend,
@@ -299,6 +307,48 @@ def cmd_latency(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    from .provenance import explain_batch, render_html, render_json, render_text
+
+    try:
+        i, j = (int(x) for x in args.pair.split(","))
+    except ValueError:
+        raise SystemExit(f"bad --pair {args.pair!r}; expected two indices like 0,1")
+    try:
+        report = explain_batch(
+            args.domain,
+            pair=(i, j),
+            family=args.family,
+            n=args.n,
+            seed=args.seed,
+            rows=args.rows,
+            telemetry=args._telemetry,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    renderers = {"text": render_text, "json": render_json, "html": render_html}
+    rendered = renderers[args.format](report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+            if not rendered.endswith("\n"):
+                handle.write("\n")
+        print(f"# explain report written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
+    args._artifact["rows"] = [
+        {
+            "pair": list(report.pair_pids),
+            "merged": report.merged_pid,
+            "rule_counts": report.rule_counts,
+            "mispredicted": [
+                a.operator for a in report.attributions if a.mispredicted
+            ],
+        }
+    ]
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     from .testing import run_fuzz
 
@@ -432,6 +482,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--priority-index", type=int, default=7)
     p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser(
+        "explain",
+        help="derivation explain-plan for one consolidated pair",
+        parents=[common],
+    )
+    p.add_argument(
+        "--domain",
+        required=True,
+        choices=["weather", "flight", "news", "twitter", "stock"],
+        help="evaluation domain supplying the query batch",
+    )
+    p.add_argument("--pair", default="0,1", help="two batch indices, e.g. 0,1")
+    p.add_argument("--family", default="Mix", help="query family (default: %(default)s)")
+    p.add_argument("--n", type=int, default=8, help="batch size to draw the pair from")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--rows", type=int, default=200, help="dataset rows for the instrumented run"
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json", "html"],
+        default="text",
+        help="rendering (default: %(default)s)",
+    )
+    p.add_argument("--out", metavar="PATH", help="write the report to PATH instead of stdout")
+    p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser(
         "fuzz", help="differential fuzzing of the whole pipeline", parents=[common]

@@ -73,6 +73,13 @@ class ExecutionConfig:
         are picklable ASTs).
     ``telemetry`` / ``sink``
         The observability handle and an optional export target.
+    ``provenance``
+        When True, the consolidation driver records a full
+        :class:`repro.provenance.DerivationTree` per pair merge (rule
+        applications, entailments, rewrites, heuristics) onto
+        ``ConsolidationReport.derivations``.  Off by default — recording
+        follows the NULL-twin pattern, so the disabled path costs one
+        boolean check per decision point.
     """
 
     backend: str = DEFAULT_BACKEND
@@ -86,6 +93,7 @@ class ExecutionConfig:
     max_workers: int = 4
     telemetry: Telemetry = NULL_TELEMETRY
     sink: object = None
+    provenance: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

@@ -62,6 +62,8 @@ from ..lang.visitors import (
     stmt_size,
     stmt_vars,
 )
+from ..provenance.recorder import NULL_RECORDER
+from ..provenance.render import clamp, format_expr, format_formula
 from ..smt.solver import Solver
 from ..smt.terms import TRUE_F, cone_of_influence, fand, fiff, fnot
 from .simplifier import Context, SimplifyStats
@@ -139,15 +141,18 @@ class Consolidator:
         options: ConsolidationOptions | None = None,
         solver: Solver | None = None,
         simplify_stats: SimplifyStats | None = None,
+        recorder=None,
     ) -> None:
         self.functions = functions
         self.cost_model = cost_model
         self.options = options or ConsolidationOptions()
         self.solver = solver or Solver()
         self.simplify_stats = simplify_stats or SimplifyStats()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.trace: list[str] = []
         self.last_duration: float = 0.0
         self.last_validation = None
+        self.last_derivation = None
 
     # -- public API ---------------------------------------------------------
 
@@ -164,6 +169,9 @@ class Consolidator:
 
         started = time.perf_counter()
         self.trace = []
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.begin_pair(p1.pid, p2.pid)
         # Establish the disjoint-locals precondition mechanically.
         q1 = rename_locals(p1)
         q2 = rename_locals(p2)
@@ -175,10 +183,13 @@ class Consolidator:
             psi=TRUE_F,
             use_smt=self.options.use_smt,
             stats=self.simplify_stats,
+            recorder=recorder,
         )
         body = self._omega(ctx, q1.body, q2.body)
         self.last_duration = time.perf_counter() - started
         merged = Program(f"{p1.pid}&{p2.pid}", p1.params, body)
+        if recorder.enabled:
+            self.last_derivation = recorder.end_pair(merged.pid, self.last_duration)
         self.last_validation = None
         if self.options.static_validate:
             from ..analysis.static import validate_consolidation
@@ -209,6 +220,8 @@ class Consolidator:
         # Line 5: first consumed — commute so the second gets simplified.
         if isinstance(s, Skip):
             self.trace.append("Com")
+            if self.recorder.enabled:
+                self.recorder.leaf("Com", "first program exhausted")
             return self._omega(ctx, r, SKIP)
 
         head, tail = seq_head(s), seq_tail(s)
@@ -217,6 +230,9 @@ class Consolidator:
         if isinstance(head, Assign):
             self.trace.append("Assign")
             rhs = ctx.simplify_for_sort(head.expr)
+            if self.recorder.enabled:
+                self.recorder.leaf("Assign", f"{head.var} := {format_expr(rhs)}")
+                self._record_rewrite(ctx, "assign-rhs", head.expr, rhs)
             ctx.record_assign(head.var, rhs)
             rest = self._omega(ctx, tail, r)
             return seq(Assign(head.var, rhs), rest)
@@ -225,6 +241,11 @@ class Consolidator:
         if isinstance(head, Notify):
             self.trace.append("Step")
             payload = ctx.simplify_bool(head.expr)
+            if self.recorder.enabled:
+                self.recorder.leaf(
+                    "Step", f"notify {head.pid} {format_expr(payload)}"
+                )
+                self._record_rewrite(ctx, "notify-payload", head.expr, payload)
             rest = self._omega(ctx, tail, r)
             return seq(Notify(head.pid, payload), rest)
 
@@ -240,12 +261,28 @@ class Consolidator:
 
     # -- conditionals --------------------------------------------------------------
 
+    def _record_rewrite(self, ctx: Context, site: str, before: Expr, after: Expr) -> None:
+        """Record one cross-simplification (recorder known to be enabled)."""
+
+        if after == before:
+            return
+        self.recorder.rewrite(
+            site,
+            format_expr(before),
+            format_expr(after),
+            ctx.cost(before),
+            ctx.cost(after),
+        )
+
     def _consolidate_if(self, ctx: Context, head: If, cont: Stmt, other: Stmt) -> Stmt:
         cond = head.cond
+        recorder = self.recorder
 
         # If 1: the context proves the test — drop it and the dead branch.
         if ctx.entails_expr(cond):
             self.trace.append("If1")
+            if recorder.enabled:
+                recorder.leaf("If1", f"Ψ proves {format_expr(cond)}")
             ctx.psi = ctx.assume(cond)
             ctx.observe(cond)
             return self._omega(ctx, seq(head.then, cont), other)
@@ -253,6 +290,8 @@ class Consolidator:
         # If 2: the context refutes the test.
         if ctx.entails_expr(cond, negate=True):
             self.trace.append("If2")
+            if recorder.enabled:
+                recorder.leaf("If2", f"Ψ refutes {format_expr(cond)}")
             ctx.psi = ctx.assume(cond, negate=True)
             ctx.observe(cond, negate=True)
             return self._omega(ctx, seq(head.orelse, cont), other)
@@ -260,9 +299,13 @@ class Consolidator:
         cond2 = ctx.simplify_bool(cond)
         if cond2 == TRUE:
             self.trace.append("If1")
+            if recorder.enabled:
+                recorder.leaf("If1", f"test simplified to true: {format_expr(cond)}")
             return self._omega(ctx.assuming(cond), seq(head.then, cont), other)
         if cond2 == FALSE:
             self.trace.append("If2")
+            if recorder.enabled:
+                recorder.leaf("If2", f"test simplified to false: {format_expr(cond)}")
             return self._omega(
                 ctx.assuming(cond, negate=True), seq(head.orelse, cont), other
             )
@@ -276,14 +319,35 @@ class Consolidator:
         else:
             rel_cond = self._related(ctx, cond, other) if not isinstance(other, Skip) else False
             rel_cont = self._related(ctx, cont, other) if not isinstance(other, Skip) else False
+            if recorder.enabled and not isinstance(other, Skip):
+                recorder.heuristic(
+                    "related",
+                    f"test {format_expr(cond)} vs other program",
+                    rel_cond,
+                )
+                recorder.heuristic("related", "continuation vs other program", rel_cont)
             # An empty continuation makes If 3 and If 4 coincide; report the
             # canonical (If 3) rule in that case.
             use_if3 = rel_cond and (rel_cont or isinstance(cont, Skip))
             use_if4 = rel_cond and not use_if3
         embedded_size = stmt_size(cont) + stmt_size(other)
         if use_if3 and embedded_size > self.options.max_embed_size:
+            if recorder.enabled:
+                recorder.heuristic(
+                    "embed-guard",
+                    f"If3 downgraded: embedded size {embedded_size} > "
+                    f"max_embed_size {self.options.max_embed_size}",
+                    False,
+                )
             use_if3, use_if4 = False, True
         if use_if4 and stmt_size(other) > self.options.max_embed_size:
+            if recorder.enabled:
+                recorder.heuristic(
+                    "embed-guard",
+                    f"If4 downgraded: other size {stmt_size(other)} > "
+                    f"max_embed_size {self.options.max_embed_size}",
+                    False,
+                )
             use_if4 = False
 
         then_ctx = ctx.assuming(cond)
@@ -292,23 +356,32 @@ class Consolidator:
         if use_if3:
             # If 3: embed the remainder of *both* programs in the branches.
             self.trace.append("If3")
-            s1 = self._omega(then_ctx, seq(head.then, cont), other)
-            s2 = self._omega(else_ctx, seq(head.orelse, cont), other)
+            with recorder.rule("If3", f"if ({format_expr(cond2)}) — embed both"):
+                if recorder.enabled:
+                    self._record_rewrite(ctx, "if-test", cond, cond2)
+                s1 = self._omega(then_ctx, seq(head.then, cont), other)
+                s2 = self._omega(else_ctx, seq(head.orelse, cont), other)
             return self._make_if(cond2, s1, s2)
 
         if use_if4:
             # If 4 (derived): embed the other program, keep our continuation out.
             self.trace.append("If4")
-            s1 = self._omega(then_ctx, head.then, other)
-            s2 = self._omega(else_ctx, head.orelse, other)
+            with recorder.rule("If4", f"if ({format_expr(cond2)}) — embed other"):
+                if recorder.enabled:
+                    self._record_rewrite(ctx, "if-test", cond, cond2)
+                s1 = self._omega(then_ctx, head.then, other)
+                s2 = self._omega(else_ctx, head.orelse, other)
             self._join_after(ctx, If(cond, head.then, head.orelse), other)
             rest = self._omega(ctx, cont, SKIP)
             return seq(self._make_if(cond2, s1, s2), rest)
 
         # If 5 (derived): simplify the test, keep everything else linear.
         self.trace.append("If5")
-        s1 = self._omega(then_ctx, head.then, SKIP)
-        s2 = self._omega(else_ctx, head.orelse, SKIP)
+        with recorder.rule("If5", f"if ({format_expr(cond2)}) — test only"):
+            if recorder.enabled:
+                self._record_rewrite(ctx, "if-test", cond, cond2)
+            s1 = self._omega(then_ctx, head.then, SKIP)
+            s2 = self._omega(else_ctx, head.orelse, SKIP)
         self._join_after(ctx, If(cond, head.then, head.orelse), SKIP)
         rest = self._omega(ctx, cont, other)
         return seq(self._make_if(cond2, s1, s2), rest)
@@ -418,6 +491,8 @@ class Consolidator:
             # Lines 29-31: no provable relation (or loop rules disabled) —
             # run the loops sequentially.
             self.trace.append("Seq")
+            if self.recorder.enabled:
+                self.recorder.leaf("Seq", "loop pair not fusible — sequential")
             emitted = self._emit_loop(ctx, head)
             rest = self._omega(ctx, cont, other)
             return seq(emitted, rest)
@@ -430,6 +505,8 @@ class Consolidator:
         # Line 32: only the first program starts with a loop — commute so the
         # other side is absorbed into the context first.
         self.trace.append("Com")
+        if self.recorder.enabled:
+            self.recorder.leaf("Com", "only first program starts with a loop")
         return self._omega(ctx, other, seq(head, cont))
 
     def _try_loop_fusion(
@@ -458,6 +535,25 @@ class Consolidator:
         if enc1 is None or enc2 is None:
             return None
 
+        recorder = self.recorder
+
+        def proved(kind: str, psi_f, goal) -> bool:
+            """One fusion goal against the solver, recorded when enabled."""
+
+            if not recorder.enabled:
+                return ctx.solver.entails(cone_of_influence(psi_f, goal), goal)
+            started = time.perf_counter()
+            verdict = ctx.solver.entails(cone_of_influence(psi_f, goal), goal)
+            recorder.entailment(
+                kind,
+                clamp(format_formula(psi_f)),
+                clamp(format_formula(goal)),
+                verdict,
+                time.perf_counter() - started,
+                "smt",
+            )
+            return verdict
+
         # The env mirrors every direct Ψ replacement below: facts about the
         # fused body's variables no longer hold mid-loop, so they are
         # forgotten before the exit/body guard is observed.
@@ -465,13 +561,14 @@ class Consolidator:
 
         # Loop 2: Ψ1 |= e1 <-> e2 — both loops run the same number of times.
         iff_goal = fiff(enc1, enc2)
-        if ctx.solver.entails(cone_of_influence(psi1, iff_goal), iff_goal):
+        if proved("loop2-iff", psi1, iff_goal):
             self.trace.append("Loop2")
-            body_ctx = ctx.branch(fand(psi1, enc1))
-            body_ctx.bindings = {}
-            body_ctx.forget(fused_vars)
-            body_ctx.observe(e1)
-            body = self._omega(body_ctx, s1, s2)
+            with recorder.rule("Loop2", f"while ({format_expr(e1)}) — fused bodies"):
+                body_ctx = ctx.branch(fand(psi1, enc1))
+                body_ctx.bindings = {}
+                body_ctx.forget(fused_vars)
+                body_ctx.observe(e1)
+                body = self._omega(body_ctx, s1, s2)
             ctx.psi = fand(psi1, fnot(enc1))
             ctx.bindings = {}
             ctx.forget(fused_vars)
@@ -482,13 +579,14 @@ class Consolidator:
         exit_ctx = fand(psi1, fnot(fand(enc1, enc2)))
 
         # Loop 3: the first loop provably runs at least as long.
-        if ctx.solver.entails(cone_of_influence(exit_ctx, enc1), enc1):
+        if proved("loop3-exit", exit_ctx, enc1):
             self.trace.append("Loop3")
-            body_ctx = ctx.branch(fand(psi1, enc2))
-            body_ctx.bindings = {}
-            body_ctx.forget(fused_vars)
-            body_ctx.observe(e2)
-            body = self._omega(body_ctx, s1, s2)
+            with recorder.rule("Loop3", f"while ({format_expr(e2)}) — first runs longer"):
+                body_ctx = ctx.branch(fand(psi1, enc2))
+                body_ctx.bindings = {}
+                body_ctx.forget(fused_vars)
+                body_ctx.observe(e2)
+                body = self._omega(body_ctx, s1, s2)
             ctx.psi = fand(psi1, fnot(enc2))
             ctx.bindings = {}
             ctx.forget(fused_vars)
@@ -498,13 +596,14 @@ class Consolidator:
             return seq(While(e2, body), rest)
 
         # Loop 3 with the arguments swapped (implicit Com, line 27-28).
-        if ctx.solver.entails(cone_of_influence(exit_ctx, enc2), enc2):
+        if proved("loop3-exit-swapped", exit_ctx, enc2):
             self.trace.append("Loop3")
-            body_ctx = ctx.branch(fand(psi1, enc1))
-            body_ctx.bindings = {}
-            body_ctx.forget(fused_vars)
-            body_ctx.observe(e1)
-            body = self._omega(body_ctx, s2, s1)
+            with recorder.rule("Loop3", f"while ({format_expr(e1)}) — second runs longer"):
+                body_ctx = ctx.branch(fand(psi1, enc1))
+                body_ctx.bindings = {}
+                body_ctx.forget(fused_vars)
+                body_ctx.observe(e1)
+                body = self._omega(body_ctx, s2, s1)
             ctx.psi = fand(psi1, fnot(enc1))
             ctx.bindings = {}
             ctx.forget(fused_vars)
@@ -530,6 +629,10 @@ class Consolidator:
         # including the first test — disappears (Loop-expand + If 2).
         if ctx.entails_expr(w.cond, negate=True):
             self.trace.append("LoopDrop")
+            if self.recorder.enabled:
+                self.recorder.leaf(
+                    "LoopDrop", f"Ψ refutes guard {format_expr(w.cond)}"
+                )
             return SKIP
 
         havocked = ctx.engine.havoc(ctx.psi, body_vars)
@@ -542,6 +645,11 @@ class Consolidator:
             # False at every reachable loop head (proved under the havoc
             # context, which the entry state satisfies too).
             self.trace.append("LoopDrop")
+            if self.recorder.enabled:
+                self.recorder.leaf(
+                    "LoopDrop",
+                    f"guard false under havoc context: {format_expr(w.cond)}",
+                )
             return SKIP
 
         if self.options.simplify_loop_bodies:
@@ -552,6 +660,10 @@ class Consolidator:
             body = w.body
 
         self.trace.append("Step")
+        if self.recorder.enabled:
+            guard = cond2 if cond2 != TRUE else w.cond
+            self.recorder.leaf("Step", f"while ({format_expr(guard)})")
+            self._record_rewrite(inv_ctx, "loop-guard", w.cond, guard)
         ctx.psi = ctx.engine.post(ctx.psi, w)
         ctx.kill_vars(body_vars)
         return While(cond2 if cond2 != TRUE else w.cond, body)

@@ -51,6 +51,7 @@ from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..lang.functions import FunctionTable, LibraryFunction
 from ..lang.visitors import notified_pids, rename_locals
 from ..smt.solver import Solver
+from ..provenance.recorder import DerivationRecorder
 from ..telemetry import NULL_TELEMETRY
 from .algorithm import ConsolidationError, ConsolidationOptions, Consolidator
 from .simplifier import SimplifyStats
@@ -93,6 +94,11 @@ class ConsolidationReport:
     ``validations`` holds one static-validation certificate per pair when
     ``options.static_validate`` is on.
 
+    ``derivations`` holds one
+    :class:`repro.provenance.DerivationTree` per successfully merged pair
+    when provenance recording was requested (``provenance=True`` or
+    ``config.provenance``); it is empty otherwise.
+
     ``skipped_pairs`` records every pair merge that failed mid-batch and
     was replaced by the sequential composition of its two inputs (one
     ``{"left", "right", "reason"}`` dict per skip); ``degradations`` is a
@@ -116,6 +122,7 @@ class ConsolidationReport:
     validations: list = field(default_factory=list)
     skipped_pairs: list = field(default_factory=list)
     degradations: list = field(default_factory=list)
+    derivations: list = field(default_factory=list)
 
     @property
     def all_certified(self) -> bool:
@@ -192,11 +199,16 @@ def _sequential_pair(a: Program, b: Program) -> Program:
 def _merge_pair_task(payload: tuple):
     """Top-level (hence picklable) pair-merge job for the process pool."""
 
-    a, b, spec, cost_model, options = payload
+    a, b, spec, cost_model, options, provenance = payload
     if FAULT_HOOK is not None:
         FAULT_HOOK("consolidate.worker", (a, b))
-    worker = Consolidator(_table_from_spec(spec), cost_model, options)
+    recorder = DerivationRecorder() if provenance else None
+    worker = Consolidator(
+        _table_from_spec(spec), cost_model, options, recorder=recorder
+    )
     merged = worker.consolidate(a, b)
+    # Derivation events are plain string/number dataclasses, so the tree
+    # pickles back to the parent unchanged.
     return (
         merged,
         worker.simplify_stats,
@@ -204,6 +216,7 @@ def _merge_pair_task(payload: tuple):
         worker.last_validation,
         tuple(worker.trace),
         worker.last_duration,
+        worker.last_derivation,
     )
 
 
@@ -219,6 +232,7 @@ def consolidate_all(
     executor: Optional[str] = None,
     telemetry=None,
     config=None,
+    provenance: Optional[bool] = None,
 ) -> ConsolidationReport:
     """Merge ``programs`` into one program broadcasting every result.
 
@@ -231,7 +245,13 @@ def consolidate_all(
 
     ``executor`` selects how each tree level's pair merges run (see module
     docstring); ``config`` (an :class:`repro.config.ExecutionConfig`)
-    supplies defaults for ``executor``, ``max_workers`` and ``telemetry``.
+    supplies defaults for ``executor``, ``max_workers``, ``telemetry`` and
+    ``provenance``.
+
+    ``provenance=True`` records one
+    :class:`~repro.provenance.DerivationTree` per merged pair onto the
+    report's ``derivations`` — every rule application, entailment, rewrite
+    and heuristic decision of the batch.
     """
 
     if not programs:
@@ -269,6 +289,8 @@ def consolidate_all(
         max_workers = config.max_workers if config is not None else 4
     if telemetry is None:
         telemetry = config.telemetry if config is not None else NULL_TELEMETRY
+    if provenance is None:
+        provenance = bool(config.provenance) if config is not None else False
 
     if order == "priority":
         rank = {pid: i for i, pid in enumerate(priority or [])}
@@ -297,11 +319,15 @@ def consolidate_all(
 
     skipped: list[dict] = []
     degradations: list[str] = []
+    derivations: list = []
 
     def merge(a: Program, b: Program) -> Program:
         # A fresh Consolidator per pair keeps traces separate; the shared
         # solver keeps the entailment cache warm across pairs, and the
         # shared stats object aggregates fast-path counters batch-wide.
+        # (The recorder is per-pair too: its node stack is not re-entrant,
+        # and the thread executor runs pairs concurrently; list.append on
+        # the shared derivations list is atomic under the GIL.)
         # Any failure here — a solver crash escaping as an exception, a
         # refuted static validation, an injected fault — keeps the pair
         # unmerged (the sequential baseline is always correct) and records
@@ -309,7 +335,10 @@ def consolidate_all(
         try:
             if FAULT_HOOK is not None:
                 FAULT_HOOK("consolidate.pair", (a, b))
-            worker = Consolidator(functions, cost_model, options, solver, stats)
+            recorder = DerivationRecorder() if provenance else None
+            worker = Consolidator(
+                functions, cost_model, options, solver, stats, recorder=recorder
+            )
             with telemetry.span("consolidate.pair", left=a.pid, right=b.pid):
                 merged = worker.consolidate(a, b)
         except Exception as exc:  # noqa: BLE001 - degrade, never crash mid-batch
@@ -326,12 +355,14 @@ def consolidate_all(
         record_pair(worker.trace, worker.last_duration)
         if worker.last_validation is not None:
             validations.append(worker.last_validation)
+        if worker.last_derivation is not None:
+            derivations.append(worker.last_derivation)
         return merged
 
     def absorb_task(result) -> Program:
         """Fold one :func:`_merge_pair_task` result into the batch state."""
 
-        merged, child_stats, child_solver, validation, trace, duration = result
+        merged, child_stats, child_solver, validation, trace, duration, tree = result
         stats.entail_queries += child_stats.entail_queries
         stats.smt_queries += child_stats.smt_queries
         stats.precheck_skips += child_stats.precheck_skips
@@ -340,6 +371,8 @@ def consolidate_all(
             extra_solver_stats[key] = extra_solver_stats.get(key, 0) + value
         if validation is not None:
             validations.append(validation)
+        if tree is not None:
+            derivations.append(tree)
         record_pair(trace, duration)
         return merged
 
@@ -377,7 +410,8 @@ def consolidate_all(
                             merged = list(pool.map(lambda ab: merge(*ab), pairings))
                         else:
                             payloads = [
-                                (a, b, spec, cost_model, options) for a, b in pairings
+                                (a, b, spec, cost_model, options, provenance)
+                                for a, b in pairings
                             ]
                             try:
                                 # Drain the whole level before absorbing any
@@ -458,4 +492,5 @@ def consolidate_all(
         validations=validations,
         skipped_pairs=skipped,
         degradations=degradations,
+        derivations=derivations,
     )

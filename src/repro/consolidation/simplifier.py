@@ -22,6 +22,7 @@ cost function, exactly as the (Int) rule demands.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable
 
@@ -45,6 +46,8 @@ from ..lang.ast import (
 )
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..lang.visitors import expr_vars, subexpressions
+from ..provenance.recorder import NULL_RECORDER
+from ..provenance.render import clamp, format_expr, format_formula
 from ..smt.solver import Solver
 from ..smt.terms import Formula, TRUE_F, cone_of_influence, eq_f, fiff, fnot
 from ..lang.functions import BOOL
@@ -267,8 +270,18 @@ class Context:
     env: StaticEnv = field(default_factory=StaticEnv)
     stats: SimplifyStats = field(default_factory=SimplifyStats)
     entail_memo: dict = field(default_factory=dict)
+    recorder: object = NULL_RECORDER
 
     # -- plumbing -------------------------------------------------------------
+
+    def _record_entail(
+        self, kind: str, query: str, verdict: bool, seconds: float, source: str
+    ) -> None:
+        """Push one entailment event (caller checked ``recorder.enabled``)."""
+
+        self.recorder.entailment(
+            kind, clamp(format_formula(self.psi)), query, verdict, seconds, source
+        )
 
     def branch(self, psi: Formula) -> "Context":
         return replace(
@@ -316,29 +329,42 @@ class Context:
 
         if not self.use_smt:
             return False
+        rec = self.recorder
+        kind = "entails-not" if negate else "entails"
         self.stats.entail_queries += 1
         key = (self.psi, e, negate)
         cached = self.entail_memo.get(key)
         if cached is not None:
             self.stats.memo_hits += 1
+            if rec.enabled:
+                self._record_entail(kind, format_expr(e), cached, 0.0, "memo")
             return cached
         value = self.env.eval_bool(e)
         if value is not None:
             self.stats.precheck_skips += 1
             result = (value is True) if not negate else (value is False)
             self.entail_memo[key] = result
+            if rec.enabled:
+                self._record_entail(kind, format_expr(e), result, 0.0, "precheck")
             return result
         enc = self.engine.encode_bool(e)
         if enc is None:
             self.entail_memo[key] = False
+            if rec.enabled:
+                self._record_entail(kind, format_expr(e), False, 0.0, "syntactic")
             return False
         self.stats.smt_queries += 1
+        started = time.perf_counter() if rec.enabled else 0.0
         hyp = cone_of_influence(self.psi, enc)
         if negate:
             result = self.solver.entails_not(hyp, enc)
         else:
             result = self.solver.entails(hyp, enc)
         self.entail_memo[key] = result
+        if rec.enabled:
+            self._record_entail(
+                kind, format_expr(e), result, time.perf_counter() - started, "smt"
+            )
         return result
 
     def provably_equal(self, a: Expr, b: Expr) -> bool:
@@ -348,26 +374,39 @@ class Context:
             return True
         if not self.use_smt:
             return False
+        rec = self.recorder
+        query = f"{format_expr(a)} = {format_expr(b)}" if rec.enabled else ""
         self.stats.entail_queries += 1
         key = (self.psi, "=", a, b)
         cached = self.entail_memo.get(key)
         if cached is not None:
             self.stats.memo_hits += 1
+            if rec.enabled:
+                self._record_entail("equal", query, cached, 0.0, "memo")
             return cached
         result = self._precheck_equal(a, b)
         if result is not None:
             self.stats.precheck_skips += 1
             self.entail_memo[key] = result
+            if rec.enabled:
+                self._record_entail("equal", query, result, 0.0, "precheck")
             return result
         ta = self.engine.encode_int(a)
         tb = self.engine.encode_int(b)
         if ta is None or tb is None:
             self.entail_memo[key] = False
+            if rec.enabled:
+                self._record_entail("equal", query, False, 0.0, "syntactic")
             return False
         self.stats.smt_queries += 1
+        started = time.perf_counter() if rec.enabled else 0.0
         goal = eq_f(ta, tb)
         result = self.solver.entails(cone_of_influence(self.psi, goal), goal)
         self.entail_memo[key] = result
+        if rec.enabled:
+            self._record_entail(
+                "equal", query, result, time.perf_counter() - started, "smt"
+            )
         return result
 
     def _precheck_equal(self, a: Expr, b: Expr) -> bool | None:
@@ -628,27 +667,40 @@ class Context:
             return True
         if not self.use_smt:
             return False
+        rec = self.recorder
+        query = f"{format_expr(a)} <-> {format_expr(b)}" if rec.enabled else ""
         self.stats.entail_queries += 1
         key = (self.psi, "<->", a, b)
         cached = self.entail_memo.get(key)
         if cached is not None:
             self.stats.memo_hits += 1
+            if rec.enabled:
+                self._record_entail("iff", query, cached, 0.0, "memo")
             return cached
         va = self.env.eval_bool(a)
         vb = self.env.eval_bool(b)
         if va is not None and vb is not None:
             self.stats.precheck_skips += 1
             self.entail_memo[key] = va == vb
+            if rec.enabled:
+                self._record_entail("iff", query, va == vb, 0.0, "precheck")
             return va == vb
         fa = self.engine.encode_bool(a)
         fb = self.engine.encode_bool(b)
         if fa is None or fb is None:
             self.entail_memo[key] = False
+            if rec.enabled:
+                self._record_entail("iff", query, False, 0.0, "syntactic")
             return False
         self.stats.smt_queries += 1
+        started = time.perf_counter() if rec.enabled else 0.0
         goal = fiff(fa, fb)
         result = self.solver.entails(cone_of_influence(self.psi, goal), goal)
         self.entail_memo[key] = result
+        if rec.enabled:
+            self._record_entail(
+                "iff", query, result, time.perf_counter() - started, "smt"
+            )
         return result
 
     def simplify_bool(self, e: Expr) -> Expr:

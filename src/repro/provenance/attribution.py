@@ -1,0 +1,129 @@
+"""Cost attribution: static predicted cost vs observed per-operator runtime.
+
+The translation validator (:mod:`repro.analysis.static`) predicts a
+worst-case UDF cost per record for the merged program and for the
+sequential baseline; the instrumented dataflow engine
+(:mod:`repro.naiad.dataflow`) observes the *actual* per-record UDF cost on
+``RunMetrics.per_operator``.  :func:`attribute_costs` joins the two per
+operator and flags mispredictions:
+
+* ``bound-violated`` — observed per-record cost exceeds the static upper
+  bound (``ratio < 1``).  The bound is supposed to be sound, so this
+  points at a cost-model bug (and the verify layer would likely flag the
+  same pair);
+* ``loose-bound`` — the bound overshoots the observation by more than
+  ``loose_threshold``×.  Sound but useless for planning: typically a loop
+  whose static trip-count bound is far above the data's actual behaviour;
+* ``unbounded`` — the static analysis could not bound the operator at all;
+* ``ok`` — everything else.
+
+The same verdicts are exported as ``provenance_*`` metrics when a live
+telemetry is supplied, so dashboards can watch cost-model fidelity drift
+across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+__all__ = ["OperatorAttribution", "attribute_costs", "DEFAULT_LOOSE_THRESHOLD"]
+
+DEFAULT_LOOSE_THRESHOLD = 3.0
+
+
+@dataclass
+class OperatorAttribution:
+    """Predicted-vs-actual cost verdict for one dataflow operator."""
+
+    operator: str
+    predicted_per_record: Optional[float]
+    observed_per_record: Optional[float]
+    records_in: int
+    udf_cost: int
+    seconds: float
+    ratio: Optional[float]
+    flag: str
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.flag in ("bound-violated", "loose-bound")
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "predicted_per_record": self.predicted_per_record,
+            "observed_per_record": (
+                round(self.observed_per_record, 4)
+                if self.observed_per_record is not None
+                else None
+            ),
+            "records_in": self.records_in,
+            "udf_cost": self.udf_cost,
+            "seconds": round(self.seconds, 6),
+            "ratio": round(self.ratio, 4) if self.ratio is not None else None,
+            "flag": self.flag,
+        }
+
+
+def attribute_costs(
+    per_operator: Mapping[str, object],
+    predicted: Mapping[str, Optional[int]],
+    loose_threshold: float = DEFAULT_LOOSE_THRESHOLD,
+    telemetry=None,
+) -> list[OperatorAttribution]:
+    """Join observed per-operator stats with static per-record predictions.
+
+    ``per_operator`` is ``RunMetrics.per_operator`` (operator name →
+    :class:`~repro.naiad.dataflow.OperatorStats`); ``predicted`` maps
+    operator names to their static worst-case UDF cost per record (``None``
+    when the analysis could not bound it).  Operators without a prediction
+    entry (plumbing like ``input`` or ``collect``) are skipped — they run
+    no UDFs, so there is nothing to attribute.
+    """
+
+    out: list[OperatorAttribution] = []
+    for name, stats in per_operator.items():
+        if name not in predicted:
+            continue
+        bound = predicted[name]
+        observed = stats.udf_cost / stats.records_in if stats.records_in else None
+        ratio = None
+        if bound is None:
+            flag = "unbounded"
+        elif observed is None or observed == 0:
+            flag = "ok"
+        else:
+            ratio = bound / observed
+            if ratio < 1.0:
+                flag = "bound-violated"
+            elif ratio > loose_threshold:
+                flag = "loose-bound"
+            else:
+                flag = "ok"
+        out.append(
+            OperatorAttribution(
+                operator=name,
+                predicted_per_record=float(bound) if bound is not None else None,
+                observed_per_record=observed,
+                records_in=stats.records_in,
+                udf_cost=stats.udf_cost,
+                seconds=stats.seconds,
+                ratio=ratio,
+                flag=flag,
+            )
+        )
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        registry = telemetry.metrics
+        for attribution in out:
+            if attribution.ratio is not None:
+                registry.gauge(
+                    "provenance_operator_cost_ratio", operator=attribution.operator
+                ).set(attribution.ratio)
+            if attribution.mispredicted:
+                registry.counter(
+                    "provenance_mispredicted_operators_total",
+                    flag=attribution.flag,
+                ).inc()
+        registry.gauge("provenance_attributed_operators").set(len(out))
+    return out

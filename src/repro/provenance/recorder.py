@@ -1,0 +1,371 @@
+"""The structured derivation recorder behind ``repro explain``.
+
+One :class:`DerivationRecorder` rides along with a
+:class:`~repro.consolidation.algorithm.Consolidator` and captures, for a
+single pair merge, everything the calculus decided:
+
+* every **rule application** (Assign/Step/Com/Seq, If 1–5, Loop 2/3,
+  LoopDrop) as a :class:`RuleNode`; structural rules (the If and Loop
+  family) nest their sub-derivations as children, mirroring the Ω′
+  recursion, so the tree *is* the derivation of Figure 8;
+* every **entailment** the context was asked (``Ψ ⊨ e``, provable
+  equality/equivalence, the Loop 2/3 fusion goals) with the rendered
+  ``Ψ``, the rendered query, the verdict, the wall time, and which fast
+  path answered it (``smt`` / ``memo`` / ``precheck`` / ``syntactic``);
+* every **cross-simplification rewrite** that changed an expression,
+  with before/after text and the static cost delta;
+* every **heuristic decision** — ``related`` accept/reject, the
+  ``max_embed_size`` guard, commutativity.
+
+Recording follows the repository's NULL-twin pattern
+(:mod:`repro.telemetry.noop`): the shared :data:`NULL_RECORDER` exposes
+``enabled = False`` and inert methods, and every producer guards event
+construction behind that flag, so the default path allocates **zero**
+derivation objects (asserted by ``tests/test_provenance.py``).
+
+Everything recorded is a plain string/number dataclass: trees pickle
+across the process-pool executor and serialise with ``to_dict`` for the
+JSON/HTML reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Entailment",
+    "Rewrite",
+    "Heuristic",
+    "RuleNode",
+    "DerivationTree",
+    "DerivationRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+]
+
+
+@dataclass
+class Entailment:
+    """One semantic question asked of the context ``Ψ``.
+
+    ``kind`` names the judgment (``entails`` / ``entails-not`` /
+    ``equal`` / ``iff`` / ``loop2-iff`` / ``loop3-exit`` …); ``source``
+    records which layer answered it: ``smt`` (a real solver check),
+    ``memo`` (the ``(Ψ, e)`` cache), ``precheck`` (the abstract-env
+    interval fast path) or ``syntactic`` (no encoding — vacuously
+    false).
+    """
+
+    kind: str
+    psi: str
+    query: str
+    verdict: bool
+    seconds: float
+    source: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "psi": self.psi,
+            "query": self.query,
+            "verdict": self.verdict,
+            "seconds": round(self.seconds, 6),
+            "source": self.source,
+        }
+
+
+@dataclass
+class Rewrite:
+    """One accepted cross-simplification: ``before`` became ``after``."""
+
+    site: str
+    before: str
+    after: str
+    cost_before: int
+    cost_after: int
+
+    @property
+    def cost_delta(self) -> int:
+        return self.cost_after - self.cost_before
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "before": self.before,
+            "after": self.after,
+            "cost_before": self.cost_before,
+            "cost_after": self.cost_after,
+            "cost_delta": self.cost_delta,
+        }
+
+
+@dataclass
+class Heuristic:
+    """One strategy decision that shaped the derivation (not its soundness)."""
+
+    kind: str
+    detail: str
+    accepted: bool
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail, "accepted": self.accepted}
+
+
+@dataclass
+class RuleNode:
+    """One calculus-rule application and everything decided under it."""
+
+    rule: str
+    detail: str = ""
+    entailments: list[Entailment] = field(default_factory=list)
+    rewrites: list[Rewrite] = field(default_factory=list)
+    heuristics: list[Heuristic] = field(default_factory=list)
+    children: list["RuleNode"] = field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        doc: dict = {"rule": self.rule}
+        if self.detail:
+            doc["detail"] = self.detail
+        if self.entailments:
+            doc["entailments"] = [e.to_dict() for e in self.entailments]
+        if self.rewrites:
+            doc["rewrites"] = [r.to_dict() for r in self.rewrites]
+        if self.heuristics:
+            doc["heuristics"] = [h.to_dict() for h in self.heuristics]
+        if self.children:
+            doc["children"] = [c.to_dict() for c in self.children]
+        return doc
+
+
+@dataclass
+class DerivationTree:
+    """The complete derivation of one pair consolidation."""
+
+    left: str
+    right: str
+    merged: str = ""
+    seconds: float = 0.0
+    root: RuleNode = field(default_factory=lambda: RuleNode("Ω"))
+
+    # -- queries -------------------------------------------------------------
+
+    def nodes(self):
+        yield from self.root.walk()
+
+    def rule_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes():
+            if node.rule != "Ω":
+                counts[node.rule] = counts.get(node.rule, 0) + 1
+        return counts
+
+    def entailments(self) -> list[Entailment]:
+        out: list[Entailment] = []
+        for node in self.nodes():
+            out.extend(node.entailments)
+        return out
+
+    def rewrites(self) -> list[Rewrite]:
+        out: list[Rewrite] = []
+        for node in self.nodes():
+            out.extend(node.rewrites)
+        return out
+
+    def heuristics(self) -> list[Heuristic]:
+        out: list[Heuristic] = []
+        for node in self.nodes():
+            out.extend(node.heuristics)
+        return out
+
+    def slowest_entailments(self, n: int = 10) -> list[Entailment]:
+        return sorted(self.entailments(), key=lambda e: -e.seconds)[:n]
+
+    def smt_seconds(self) -> float:
+        return sum(e.seconds for e in self.entailments() if e.source == "smt")
+
+    def to_dict(self, include_timings: bool = True) -> dict:
+        doc = {
+            "left": self.left,
+            "right": self.right,
+            "merged": self.merged,
+            "seconds": round(self.seconds, 6),
+            "rule_counts": self.rule_counts(),
+            "root": self.root.to_dict(),
+        }
+        if not include_timings:
+            doc = _strip_timings(doc)
+        return doc
+
+
+def _strip_timings(doc):
+    """Zero every ``seconds`` field (golden-file stability)."""
+
+    if isinstance(doc, dict):
+        return {
+            k: (0.0 if k == "seconds" else _strip_timings(v)) for k, v in doc.items()
+        }
+    if isinstance(doc, list):
+        return [_strip_timings(v) for v in doc]
+    return doc
+
+
+class _RuleScope:
+    """Context manager popping one structural rule node off the stack."""
+
+    __slots__ = ("_recorder",)
+
+    def __init__(self, recorder: "DerivationRecorder") -> None:
+        self._recorder = recorder
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder._pop()
+        return False
+
+
+class DerivationRecorder:
+    """Accumulates :class:`DerivationTree` objects, one per pair merge.
+
+    The recorder keeps a stack of open :class:`RuleNode` scopes; the
+    consolidator pushes a scope around each structural rule's
+    sub-derivation and appends leaf rules directly, so event producers
+    (the simplifier context, the loop-fusion prover) only ever talk to
+    ``current`` — they need no knowledge of tree shape.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.trees: list[DerivationTree] = []
+        self._tree: DerivationTree | None = None
+        self._stack: list[RuleNode] = []
+
+    # -- pair lifecycle ------------------------------------------------------
+
+    def begin_pair(self, left: str, right: str) -> None:
+        self._tree = DerivationTree(left=left, right=right)
+        self._stack = [self._tree.root]
+
+    def end_pair(self, merged: str, seconds: float) -> DerivationTree | None:
+        tree = self._tree
+        if tree is None:
+            return None
+        tree.merged = merged
+        tree.seconds = seconds
+        self.trees.append(tree)
+        self._tree = None
+        self._stack = []
+        return tree
+
+    @property
+    def current(self) -> RuleNode | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- rule events ---------------------------------------------------------
+
+    def rule(self, name: str, detail: str = "") -> _RuleScope:
+        """Open a structural rule scope; sub-derivations nest under it."""
+
+        node = RuleNode(name, detail)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        self._stack.append(node)
+        return _RuleScope(self)
+
+    def leaf(self, name: str, detail: str = "") -> None:
+        """Record a non-structural rule application (Assign/Step/Com/…)."""
+
+        if self._stack:
+            self._stack[-1].children.append(RuleNode(name, detail))
+
+    def _pop(self) -> None:
+        if len(self._stack) > 1:
+            self._stack.pop()
+
+    # -- decision events -----------------------------------------------------
+
+    def entailment(
+        self,
+        kind: str,
+        psi: str,
+        query: str,
+        verdict: bool,
+        seconds: float,
+        source: str,
+    ) -> None:
+        node = self.current
+        if node is not None:
+            node.entailments.append(
+                Entailment(kind, psi, query, bool(verdict), seconds, source)
+            )
+
+    def rewrite(
+        self, site: str, before: str, after: str, cost_before: int, cost_after: int
+    ) -> None:
+        node = self.current
+        if node is not None:
+            node.rewrites.append(Rewrite(site, before, after, cost_before, cost_after))
+
+    def heuristic(self, kind: str, detail: str, accepted: bool) -> None:
+        node = self.current
+        if node is not None:
+            node.heuristics.append(Heuristic(kind, detail, accepted))
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullRecorder:
+    """The zero-cost twin: every hook is inert, ``enabled`` is False.
+
+    Producers guard event *construction* (string rendering, timing) on
+    ``enabled``, so with this recorder the only cost per decision point
+    is one attribute read — the same discipline
+    :mod:`repro.telemetry.noop` enforces for metrics.
+    """
+
+    __slots__ = ()
+    enabled = False
+    trees: tuple = ()
+    current = None
+
+    def begin_pair(self, left, right) -> None:
+        pass
+
+    def end_pair(self, merged, seconds) -> None:
+        return None
+
+    def rule(self, name, detail="") -> _NullScope:
+        return _NULL_SCOPE
+
+    def leaf(self, name, detail="") -> None:
+        pass
+
+    def entailment(self, kind, psi, query, verdict, seconds, source) -> None:
+        pass
+
+    def rewrite(self, site, before, after, cost_before, cost_after) -> None:
+        pass
+
+    def heuristic(self, kind, detail, accepted) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()

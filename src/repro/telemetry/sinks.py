@@ -70,16 +70,71 @@ class PrometheusTextSink:
 # Prometheus text exposition (the subset the metric model needs)
 # ---------------------------------------------------------------------------
 
+# Help strings for every series the repository emits, keyed by family name.
+# Unknown families (ad-hoc test metrics, future additions) fall back to a
+# generated line so every family still carries mandatory HELP/TYPE metadata.
+HELP_TEXTS = {
+    "compile_cache_hits_total": "Compiled-backend translation cache hits.",
+    "compile_cache_misses_total": "Compiled-backend translation cache misses.",
+    "compile_fallbacks_total": "Programs that fell back to the interpreter backend.",
+    "compile_seconds": "Wall time spent translating programs to closures.",
+    "consolidation_batches_total": "Divide-and-conquer consolidation batches run.",
+    "consolidation_entail_queries": "Semantic entailment questions asked of the context.",
+    "consolidation_executor_degradations_total": "Pool failures redone serially.",
+    "consolidation_memo_hit_rate": "Fraction of entailment queries answered by the memo.",
+    "consolidation_memo_hits": "Entailment queries answered by the (psi, e) memo.",
+    "consolidation_pair_seconds": "Wall time per pair consolidation.",
+    "consolidation_pairs_total": "Pair consolidations performed.",
+    "consolidation_precheck_skips": "Entailments decided by the abstract-env precheck.",
+    "consolidation_rule_applications_total": "Calculus rule applications, by rule.",
+    "consolidation_seconds_total": "Total wall time spent consolidating batches.",
+    "consolidation_skipped_pairs_total": "Pairs kept unmerged after a mid-batch failure.",
+    "consolidation_smt_queries": "Entailment queries that reached the SMT solver.",
+    "dataflow_operator_records_in_total": "Records entering each operator.",
+    "dataflow_operator_records_out_total": "Records leaving each operator.",
+    "dataflow_operator_seconds_total": "Wall time spent inside each operator.",
+    "dataflow_operator_udf_cost_total": "Figure-2 UDF cost units charged per operator.",
+    "dataflow_records_total": "Records ingested by dataflow runs.",
+    "dataflow_runs_total": "Dataflow graph executions.",
+    "dataflow_udf_cost_total": "Figure-2 UDF cost units across all runs.",
+    "dataflow_wall_seconds_total": "Wall time of dataflow runs.",
+    "provenance_attributed_operators": "Operators joined in the last cost-attribution pass.",
+    "provenance_mispredicted_operators_total": "Operators whose static cost bound was violated or loose.",
+    "provenance_operator_cost_ratio": "Static predicted / observed per-record cost, by operator.",
+    "smt_cache_hits": "SMT validity checks answered from the formula cache.",
+    "smt_check_seconds": "SMT validity check latency.",
+    "smt_checks": "SMT validity checks issued.",
+    "smt_sat_calls": "Underlying SAT search invocations.",
+    "smt_theory_rounds": "Theory-propagation rounds across all checks.",
+    "smt_unknowns": "SMT checks that returned unknown.",
+}
 
-def _escape(value: str) -> str:
+
+def _escape_label_value(value: str) -> str:
+    r"""Escape one label value: ``\`` -> ``\\``, ``"`` -> ``\"``, LF -> ``\n``.
+
+    Backslashes are escaped first so the backslashes *introduced* by the
+    quote/newline replacements are not doubled again.
+    """
+
     return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    r"""Escape HELP text: only ``\`` and newline (quotes stay literal).
+
+    The exposition format gives HELP lines a *different* escaping rule
+    from label values — escaping quotes here would corrupt the help text.
+    """
+
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _labels(labels: dict, extra: tuple = ()) -> str:
     items = [*sorted(labels.items()), *extra]
     if not items:
         return ""
-    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
     return "{" + body + "}"
 
 
@@ -89,12 +144,19 @@ def _num(value) -> str:
     return str(value)
 
 
+def _help_for(name: str) -> str:
+    return HELP_TEXTS.get(name, f"repro metric {name}.")
+
+
 def prometheus_text(metrics_snapshot: dict) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` dict as exposition text.
 
-    Families are emitted in name order with one ``# TYPE`` line each;
-    histogram buckets are cumulative with the mandatory ``+Inf`` bucket
-    and ``_sum`` / ``_count`` series, exactly as Prometheus expects.
+    Families are emitted in name order, each headed by its ``# HELP`` and
+    ``# TYPE`` lines (known families get curated help text, the rest a
+    generated fallback); histogram buckets are cumulative with the
+    mandatory ``+Inf`` bucket and ``_sum`` / ``_count`` series, exactly as
+    Prometheus expects.  Label values and HELP text use their distinct
+    spec escapings (see :func:`_escape_label_value` / :func:`_escape_help`).
     """
 
     families: dict[str, tuple[str, list]] = {}
@@ -105,6 +167,7 @@ def prometheus_text(metrics_snapshot: dict) -> str:
     lines: list[str] = []
     for name in sorted(families):
         kind, metrics = families[name]
+        lines.append(f"# HELP {name} {_escape_help(_help_for(name))}")
         lines.append(f"# TYPE {name} {kind}")
         for metric in metrics:
             labels = metric["labels"]

@@ -66,9 +66,12 @@ def run_fuzz(
 
     ``seed`` derives every case's own seed (case ``i`` uses ``seed + i``),
     so two runs with the same arguments test the same batches.
-    ``time_budget`` (seconds) stops early without failing; ``emit_corpus``
-    names a directory that receives one corpus file per (shrunk) failure.
-    ``progress`` is an optional callable fed one line per 25 cases.
+    ``time_budget`` (seconds) stops early without failing — the deadline
+    is enforced *inside* each battery (between oracle stages), not just
+    between cases, so a slow case cannot overrun the budget by a whole
+    five-stage run.  ``emit_corpus`` names a directory that receives one
+    corpus file per (shrunk) failure.  ``progress`` is an optional
+    callable fed one line per 25 cases.
     """
 
     names = list(schemas) if schemas else sorted(SCHEMAS)
@@ -77,9 +80,10 @@ def run_fuzz(
             raise ValueError(f"unknown schema {name!r}; choose from {sorted(SCHEMAS)}")
     report = FuzzReport(per_schema={n: 0 for n in names})
     started = time.perf_counter()
+    deadline = None if time_budget is None else started + time_budget
 
     for i in range(cases):
-        if time_budget is not None and time.perf_counter() - started > time_budget:
+        if deadline is not None and time.perf_counter() > deadline:
             break
         schema = names[i % len(names)]
         # Vary size a little around the requested level so small and
@@ -89,7 +93,25 @@ def run_fuzz(
         programs = generate_case(spec.seed, spec.schema, spec.size)
         dataset = schema_dataset(schema)
         inputs = case_inputs(schema)
-        result = run_battery(programs, dataset, inputs=inputs, executors=executors)
+        result = run_battery(
+            programs, dataset, inputs=inputs, executors=executors, deadline=deadline
+        )
+        if result.timed_out:
+            # The battery was cut off mid-way: the case is incomplete, so
+            # it does not count toward cases_run, but any discrepancy the
+            # finished stages produced is still a real finding — record it
+            # unshrunk (shrinking re-runs batteries and would blow the
+            # budget) before stopping.
+            if not result.ok:
+                report.failures.append(
+                    FuzzFailure(
+                        spec=spec,
+                        oracles=sorted({d.oracle for d in result.discrepancies}),
+                        details=[str(d) for d in result.discrepancies[:5]],
+                        shrunk_size=batch_size(programs),
+                    )
+                )
+            break
         report.cases_run += 1
         report.per_schema[schema] += 1
         if progress is not None and (i + 1) % 25 == 0:

@@ -27,6 +27,7 @@ the oracle saying "all paths agree on this case".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -64,6 +65,7 @@ class BatteryResult:
 
     discrepancies: list[Discrepancy] = field(default_factory=list)
     report: ConsolidationReport | None = None
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
@@ -298,12 +300,17 @@ def run_battery(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     executors: Sequence[str] = ("serial", "thread"),
     check_validator: bool = True,
+    deadline: float | None = None,
 ) -> BatteryResult:
     """Run every differential oracle over one batch; collect disagreements.
 
     ``inputs`` defaults to a spread of the dataset's rows.  ``executors``
     controls the ``consolidate_all`` parity check (pass all three of
     ``("serial", "thread", "process")`` for the full, slower sweep).
+    ``deadline`` is an absolute :func:`time.perf_counter` instant; it is
+    re-checked between oracle stages, so one slow battery cannot overrun a
+    fuzzing time budget by a whole five-stage run.  A battery cut short
+    comes back with ``timed_out=True`` and only the stages that finished.
     """
 
     if inputs is None:
@@ -313,12 +320,28 @@ def run_battery(
     result = BatteryResult()
     out = result.discrepancies
 
+    def expired() -> bool:
+        if deadline is not None and time.perf_counter() > deadline:
+            result.timed_out = True
+            return True
+        return False
+
+    if expired():
+        return result
     _check_backends(programs, dataset, inputs, cost_model, out)
+    if expired():
+        return result
     report = _check_dataflow(programs, dataset, rows, cost_model, out)
     result.report = report
+    if expired():
+        return result
     _check_executors(programs, dataset, cost_model, executors, out)
     if report is not None:
+        if expired():
+            return result
         _check_soundness(programs, report, dataset, inputs, cost_model, out)
         if check_validator:
+            if expired():
+                return result
             _check_validator(programs, report, dataset, cost_model, out)
     return result

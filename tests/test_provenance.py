@@ -1,0 +1,184 @@
+"""The derivation recorder and cost attribution (repro.provenance)."""
+
+import json
+import pickle
+
+import pytest
+
+import repro.provenance.recorder as recorder_mod
+from repro.consolidation import consolidate_all
+from repro.datasets import generate_weather
+from repro.provenance import (
+    NULL_RECORDER,
+    DerivationRecorder,
+    attribute_costs,
+)
+from repro.provenance.recorder import _strip_timings
+from repro.queries import DOMAIN_QUERIES
+
+
+@pytest.fixture(scope="module")
+def weather():
+    dataset = generate_weather(cities=12)
+    programs = DOMAIN_QUERIES["weather"].make_batch(dataset, "Mix", n=6, seed=1)
+    return dataset, programs
+
+
+class TestRecorderUnit:
+    def test_scopes_nest_and_pop(self):
+        rec = DerivationRecorder()
+        rec.begin_pair("a", "b")
+        with rec.rule("If5", "outer"):
+            rec.leaf("Assign", "x := 1")
+            with rec.rule("If3"):
+                rec.entailment("entails", "psi", "q", True, 0.5, "smt")
+            rec.rewrite("site", "x+0", "x", 3, 1)
+        tree = rec.end_pair("a&b", 1.25)
+        assert tree is rec.trees[0]
+        root = tree.root
+        assert root.rule == "Ω"
+        (if5,) = root.children
+        assert [c.rule for c in if5.children] == ["Assign", "If3"]
+        assert if5.children[1].entailments[0].verdict is True
+        assert if5.rewrites[0].cost_delta == -2
+        assert tree.rule_counts() == {"If5": 1, "Assign": 1, "If3": 1}
+        assert tree.smt_seconds() == 0.5
+
+    def test_events_outside_pair_are_dropped(self):
+        rec = DerivationRecorder()
+        rec.entailment("entails", "", "q", False, 0.0, "memo")
+        rec.leaf("Assign")
+        assert rec.end_pair("x", 0.0) is None
+        assert rec.trees == []
+
+    def test_to_dict_is_sparse_and_json_able(self):
+        rec = DerivationRecorder()
+        rec.begin_pair("a", "b")
+        rec.leaf("Com")
+        tree = rec.end_pair("a&b", 0.5)
+        doc = tree.to_dict()
+        json.dumps(doc)  # must be pure JSON types
+        assert doc["root"]["children"] == [{"rule": "Com"}]
+        assert doc["seconds"] == 0.5
+        stripped = tree.to_dict(include_timings=False)
+        assert stripped["seconds"] == 0.0
+
+    def test_strip_timings_recurses(self):
+        doc = {"seconds": 2.0, "inner": [{"seconds": 1.0, "keep": 7}]}
+        assert _strip_timings(doc) == {
+            "seconds": 0.0,
+            "inner": [{"seconds": 0.0, "keep": 7}],
+        }
+
+    def test_null_recorder_is_inert(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.begin_pair("a", "b")
+        with NULL_RECORDER.rule("If5"):
+            NULL_RECORDER.leaf("Assign")
+            NULL_RECORDER.entailment("entails", "", "q", True, 0.0, "smt")
+        assert NULL_RECORDER.end_pair("x", 0.0) is None
+        assert NULL_RECORDER.trees == ()
+        assert NULL_RECORDER.current is None
+
+
+class TestRecordedConsolidation:
+    def test_derivations_land_on_report(self, weather):
+        dataset, programs = weather
+        report = consolidate_all(programs[:2], dataset.functions, provenance=True)
+        assert len(report.derivations) == 1
+        tree = report.derivations[0]
+        assert tree.left == programs[0].pid and tree.right == programs[1].pid
+        assert tree.merged == report.program.pid
+        assert tree.seconds > 0
+        counts = tree.rule_counts()
+        assert counts, "at least one calculus rule must be recorded"
+        # Every recorded rule is one the calculus actually has.
+        known = {
+            "Assign", "Step", "Com", "Seq", "If1", "If2", "If3", "If4", "If5",
+            "Loop2", "Loop3", "LoopDrop",
+        }
+        assert set(counts) <= known, counts
+
+    def test_entailments_have_contexts_and_sources(self, weather):
+        dataset, programs = weather
+        report = consolidate_all(programs[:2], dataset.functions, provenance=True)
+        entailments = report.derivations[0].entailments()
+        assert entailments
+        assert {e.source for e in entailments} <= {
+            "smt", "memo", "precheck", "syntactic"
+        }
+        smt = [e for e in entailments if e.source == "smt"]
+        assert smt, "the Mix pair needs at least one real solver check"
+        assert all(e.query for e in smt)
+        assert all(e.seconds >= 0 for e in entailments)
+
+    def test_off_by_default_and_trees_pickle(self, weather):
+        dataset, programs = weather
+        off = consolidate_all(programs[:2], dataset.functions)
+        assert off.derivations == []
+        on = consolidate_all(programs[:3], dataset.functions, provenance=True)
+        assert len(on.derivations) == 2  # two pair merges for a batch of 3
+        clones = pickle.loads(pickle.dumps(on.derivations))
+        assert [t.merged for t in clones] == [t.merged for t in on.derivations]
+
+    def test_recording_off_allocates_no_event_objects(self, weather, monkeypatch):
+        """The NULL-twin promise: with provenance off, not a single
+        derivation dataclass may be constructed anywhere in the pipeline."""
+
+        def boom(*args, **kwargs):
+            raise AssertionError("derivation object allocated with recording off")
+
+        for name in ("Entailment", "Rewrite", "Heuristic", "DerivationTree"):
+            monkeypatch.setattr(recorder_mod, name, boom)
+        dataset, programs = weather
+        report = consolidate_all(programs[:2], dataset.functions)
+        assert report.derivations == []
+
+
+class TestAttribution:
+    class _Stats:
+        def __init__(self, records_in, udf_cost, seconds=0.01):
+            self.records_in = records_in
+            self.udf_cost = udf_cost
+            self.seconds = seconds
+
+    def test_flags(self):
+        per_operator = {
+            "whereMany[2]": self._Stats(100, 1000),     # observed 10
+            "whereConsolidated[2]": self._Stats(100, 400),  # observed 4
+            "loopy": self._Stats(100, 100),             # observed 1
+            "input": self._Stats(100, 0),               # no prediction entry
+        }
+        predicted = {
+            "whereMany[2]": 12,        # ratio 1.2 -> ok
+            "whereConsolidated[2]": 2,  # ratio 0.5 -> bound violated
+            "loopy": None,             # unbounded
+        }
+        out = {a.operator: a for a in attribute_costs(per_operator, predicted)}
+        assert set(out) == {"whereMany[2]", "whereConsolidated[2]", "loopy"}
+        assert out["whereMany[2]"].flag == "ok"
+        assert out["whereMany[2]"].ratio == pytest.approx(1.2)
+        assert out["whereConsolidated[2]"].flag == "bound-violated"
+        assert out["whereConsolidated[2]"].mispredicted
+        assert out["loopy"].flag == "unbounded"
+
+    def test_loose_bound_threshold(self):
+        per_operator = {"op": self._Stats(10, 10)}  # observed 1
+        assert attribute_costs(per_operator, {"op": 4})[0].flag == "loose-bound"
+        assert (
+            attribute_costs(per_operator, {"op": 4}, loose_threshold=5.0)[0].flag
+            == "ok"
+        )
+
+    def test_metrics_exported_on_live_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        per_operator = {"op": self._Stats(10, 10)}
+        attribute_costs(per_operator, {"op": 40}, telemetry=telemetry)
+        snapshot = telemetry.metrics.snapshot()
+        gauges = {g["name"]: g["value"] for g in snapshot["gauges"]}
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+        assert gauges["provenance_attributed_operators"] == 1
+        assert gauges["provenance_operator_cost_ratio"] == 40.0
+        assert counters["provenance_mispredicted_operators_total"] == 1

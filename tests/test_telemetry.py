@@ -146,11 +146,51 @@ class TestPrometheus:
         text = prometheus_text(self._registry().snapshot())
         assert text == GOLDEN.read_text()
 
+    def test_every_family_has_help_and_type(self):
+        text = prometheus_text(self._registry().snapshot())
+        for name, kind in (
+            ("requests_total", "counter"),
+            ("queue_depth", "gauge"),
+            ("latency_seconds", "histogram"),
+        ):
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} {kind}" in text
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                assert lines[i - 1].startswith("# HELP "), line
+
+    def test_known_family_gets_curated_help(self):
+        reg = MetricsRegistry()
+        reg.counter("smt_checks").inc()
+        text = prometheus_text(reg.snapshot())
+        assert "# HELP smt_checks SMT validity checks issued.\n" in text
+
     def test_label_escaping(self):
         reg = MetricsRegistry()
         reg.counter("c", path='a"b\\c').inc()
         text = prometheus_text(reg.snapshot())
         assert 'path="a\\"b\\\\c"' in text
+
+    def test_label_newline_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path="a\nb").inc()
+        text = prometheus_text(reg.snapshot())
+        assert 'path="a\\nb"' in text
+        assert "\n\n" not in text  # no literal newline leaked into a label
+
+    def test_help_escaping_differs_from_label_escaping(self):
+        # HELP text escapes backslash and newline but NOT double quotes.
+        from repro.telemetry.sinks import HELP_TEXTS
+
+        HELP_TEXTS['weird_metric'] = 'say "hi"\nback\\slash'
+        try:
+            reg = MetricsRegistry()
+            reg.counter("weird_metric").inc()
+            text = prometheus_text(reg.snapshot())
+            assert '# HELP weird_metric say "hi"\\nback\\\\slash\n' in text
+        finally:
+            del HELP_TEXTS["weird_metric"]
 
 
 class TestSinks:

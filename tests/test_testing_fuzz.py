@@ -23,6 +23,43 @@ def test_fuzz_respects_time_budget():
     assert report.ok
 
 
+def test_battery_deadline_checked_between_stages():
+    """An already-expired deadline stops the battery before any stage runs,
+    and a mid-battery expiry returns only the stages that finished."""
+
+    import time
+
+    from repro.testing.generator import case_inputs, generate_case, schema_dataset
+    from repro.testing.oracles import run_battery
+
+    programs = generate_case(0, "weather", 2)
+    dataset = schema_dataset("weather")
+    inputs = case_inputs("weather")
+
+    expired = run_battery(
+        programs, dataset, inputs=inputs, executors=("serial",),
+        deadline=time.perf_counter() - 1.0,
+    )
+    assert expired.timed_out
+    assert expired.report is None  # no stage ran, so no consolidation report
+    assert expired.ok
+
+    complete = run_battery(
+        programs, dataset, inputs=inputs, executors=("serial",),
+        deadline=time.perf_counter() + 3600.0,
+    )
+    assert not complete.timed_out
+    assert complete.report is not None
+
+
+def test_fuzz_timed_out_case_not_counted():
+    """A case whose battery is cut off mid-way does not count as run."""
+
+    report = run_fuzz(seed=0, cases=5, time_budget=1e-9, executors=("serial",))
+    assert report.cases_run == 0
+    assert report.ok
+
+
 def test_fuzz_single_schema():
     report = run_fuzz(seed=5, cases=4, schemas=["news"], executors=("serial",))
     assert report.per_schema == {"news": 4}

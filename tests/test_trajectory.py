@@ -1,0 +1,111 @@
+"""The benchmark-trajectory regression gate (benchmarks/trajectory.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "trajectory", Path(__file__).resolve().parent.parent / "benchmarks" / "trajectory.py"
+)
+trajectory = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(trajectory)
+
+
+def _row(scale="small", **metrics):
+    return {
+        "schema_version": trajectory.SCHEMA_VERSION,
+        "timestamp": "2026-01-01T00:00:00+00:00",
+        "git_sha": "abc1234",
+        "scale": scale,
+        "metrics": metrics,
+    }
+
+
+class TestGate:
+    def test_first_row_is_vacuously_green(self):
+        assert trajectory.gate(None, _row(weather_udf_speedup=1.5)) == []
+
+    def test_identical_metrics_pass(self):
+        base = _row(weather_udf_speedup=1.5, weather_smt_checks=100)
+        assert trajectory.gate(base, _row(weather_udf_speedup=1.5, weather_smt_checks=100)) == []
+
+    def test_higher_better_regression(self):
+        base = _row(weather_udf_speedup=2.0)
+        # 10% tight band: 1.79 < 2.0 * 0.9
+        bad = trajectory.gate(base, _row(weather_udf_speedup=1.79))
+        assert len(bad) == 1 and "weather_udf_speedup" in bad[0]
+        # 1.81 is inside the band
+        assert trajectory.gate(base, _row(weather_udf_speedup=1.81)) == []
+
+    def test_lower_better_regression(self):
+        base = _row(weather_smt_checks=100)
+        bad = trajectory.gate(base, _row(weather_smt_checks=111))
+        assert len(bad) == 1 and "weather_smt_checks" in bad[0]
+        assert trajectory.gate(base, _row(weather_smt_checks=109)) == []
+
+    def test_wall_clock_band_is_loose(self):
+        base = _row(weather_run_seconds=1.0)
+        # 40% slower wall time is inside the 50% band
+        assert trajectory.gate(base, _row(weather_run_seconds=1.4)) == []
+        bad = trajectory.gate(base, _row(weather_run_seconds=1.6))
+        assert len(bad) == 1
+
+    def test_tolerance_multiplier_widens_bands(self):
+        base = _row(weather_smt_checks=100)
+        assert trajectory.gate(base, _row(weather_smt_checks=115), tolerance=2.0) == []
+        assert trajectory.gate(base, _row(weather_smt_checks=115), tolerance=1.0)
+
+    def test_unknown_and_missing_metrics_are_skipped(self):
+        base = _row(weather_smt_checks=100)
+        new = _row(weather_smt_checks=100, brand_new_metric=1, weather_udf_speedup=9.9)
+        assert trajectory.gate(base, new) == []
+
+    def test_zero_baseline_is_skipped(self):
+        base = _row(weather_smt_checks=0)
+        assert trajectory.gate(base, _row(weather_smt_checks=50)) == []
+
+
+class TestBaseline:
+    def test_latest_matching_scale_wins(self):
+        rows = [
+            _row(scale="small", weather_smt_checks=1),
+            _row(scale="full", weather_smt_checks=2),
+            _row(scale="small", weather_smt_checks=3),
+        ]
+        assert trajectory.find_baseline(rows, "small")["metrics"]["weather_smt_checks"] == 3
+        assert trajectory.find_baseline(rows, "full")["metrics"]["weather_smt_checks"] == 2
+
+    def test_other_schema_versions_ignored(self):
+        rows = [{"schema_version": 99, "scale": "small", "metrics": {}}]
+        assert trajectory.find_baseline(rows, "small") is None
+        assert trajectory.find_baseline([], "small") is None
+
+
+class TestEndToEnd:
+    def test_first_append_then_gate(self, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        assert trajectory.main(["--output", str(out)]) == 0
+        rows = json.loads(out.read_text())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["schema_version"] == trajectory.SCHEMA_VERSION
+        assert row["scale"] == "small"
+        assert set(trajectory.METRIC_SPECS) == set(row["metrics"])
+        assert row["metrics"]["weather_udf_speedup"] > 1.0
+
+        # Second run gates against the first and stays green (deterministic
+        # metrics are identical; wall clock is within the loose band).
+        assert trajectory.main(["--output", str(out), "--tolerance", "10"]) == 0
+        assert len(json.loads(out.read_text())) == 2
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        doctored = _row(scale="small", weather_smt_checks=1)
+        out.write_text(json.dumps([doctored]))
+        # The real workload does far more than 1 SMT check -> gate fires.
+        assert trajectory.main(["--output", str(out), "--dry-run"]) == 1
+        # --dry-run must not have appended the failing row.
+        assert len(json.loads(out.read_text())) == 1
