@@ -49,9 +49,11 @@ METRIC_SPECS = {
     "weather_consolidated_udf_cost": ("lower", 0.10),
     "weather_smt_checks": ("lower", 0.10),
     "weather_entail_queries": ("lower", 0.10),
+    "weather_prefilter_cost_speedup": ("higher", 0.10),
     # Wall-clock metrics: loose bands (machine-dependent).
     "weather_consolidation_seconds": ("lower", 0.50),
     "weather_run_seconds": ("lower", 0.50),
+    "weather_prefilter_synthesis_seconds": ("lower", 0.50),
 }
 
 SCALES = {
@@ -106,6 +108,13 @@ def collect_metrics(scale: str) -> dict:
     if many.buckets != cons.buckets:
         raise SystemExit("trajectory workload: consolidated buckets diverged")
 
+    # The prefilter gate rides along at a fixed reduced scale: the cost
+    # speedup is deterministic (virtual clock), so any drop is algorithmic.
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    import bench_prefilter
+
+    prefilter = bench_prefilter.measure(cities=50, n_udfs=4)
+
     return {
         "weather_udf_speedup": round(
             many.metrics.udf_cost / max(1, cons.metrics.udf_cost), 4
@@ -113,8 +122,10 @@ def collect_metrics(scale: str) -> dict:
         "weather_consolidated_udf_cost": cons.metrics.udf_cost,
         "weather_smt_checks": report.solver_stats.get("checks", 0),
         "weather_entail_queries": report.simplify_stats.get("entail_queries", 0),
+        "weather_prefilter_cost_speedup": prefilter["cost_speedup"],
         "weather_consolidation_seconds": round(consolidation_seconds, 4),
         "weather_run_seconds": round(run_seconds, 4),
+        "weather_prefilter_synthesis_seconds": prefilter["synthesis_seconds"],
     }
 
 

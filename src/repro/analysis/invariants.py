@@ -29,7 +29,7 @@ from typing import Iterable
 
 from ..lang.ast import Expr, IntConst, Stmt
 from ..lang.functions import INT
-from ..lang.visitors import assigned_vars, expr_args, expr_vars, stmt_args, stmt_exprs, stmt_vars, subexpressions
+from ..lang.visitors import assigned_vars, expr_args, expr_vars, stmt_vars, subexpressions
 from ..smt.interface import arg_sym, var_sym
 from ..smt.solver import Solver
 from ..smt.terms import (

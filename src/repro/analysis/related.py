@@ -19,7 +19,7 @@ query families.
 from __future__ import annotations
 
 from ..lang.ast import Arg, BoolConst, Call, Cmp, Expr, IntConst, Stmt, StrConst, Var
-from ..lang.visitors import expr_calls, stmt_calls, stmt_exprs, subexpressions
+from ..lang.visitors import stmt_exprs, subexpressions
 
 __all__ = ["related", "comparison_subjects", "expr_features", "is_trivial"]
 

@@ -10,6 +10,8 @@
 * :mod:`repro.analysis.static.costbound` — worst-case cost bounds with
   trip-count inference,
 * :mod:`repro.analysis.static.lint` — the UDF linter behind ``repro lint``,
+* :mod:`repro.analysis.static.sarif` — SARIF 2.1.0 emission for the
+  linter's findings (``repro lint --format sarif``),
 * :mod:`repro.analysis.static.validate` — the consolidation translation
   validator of Theorem 1's static half.
 """
@@ -28,6 +30,7 @@ from .costbound import (
     trip_count_bound,
 )
 from .lint import Finding, LintReport, lint_program, lint_programs
+from .sarif import render_sarif, to_sarif
 from .validate import StaticValidation, validate_consolidation
 from .values import Interval, StaticEnv
 
@@ -50,6 +53,8 @@ __all__ = [
     "LintReport",
     "lint_program",
     "lint_programs",
+    "render_sarif",
+    "to_sarif",
     "StaticValidation",
     "validate_consolidation",
 ]

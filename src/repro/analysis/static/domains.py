@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ...lang.ast import Expr, IntConst, Program, While
+from ...lang.ast import Expr, IntConst, Program
 from ...lang.visitors import expr_vars, stmt_exprs, subexpressions
 from .framework import Domain
 from .values import StaticEnv

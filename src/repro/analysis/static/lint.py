@@ -25,7 +25,7 @@ is why notify multiplicity is linted as strictly as type errors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ...lang.ast import (

@@ -22,7 +22,7 @@ bound may be looser, not larger in reality).  The dynamic checker in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ...lang.ast import Arg, Expr, Program, Var, While

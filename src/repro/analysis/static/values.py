@@ -32,7 +32,6 @@ from ...lang.ast import (
     BinOp,
     BoolConst,
     BoolOp,
-    Call,
     Cmp,
     Expr,
     IntConst,

@@ -17,11 +17,23 @@ Commands
 ``lint [FILE ...]``
     Run the static UDF linter (:mod:`repro.analysis.static.lint`) over
     programs from files, or — with ``--domain`` and no files — over that
-    domain's generated query families.  ``--json`` emits machine-readable
-    output; ``--validate`` additionally consolidates each batch and runs
-    the abstract-interpretation translation validator over every merged
-    pair.  Exit status: 0 clean, 1 warnings only, 2 errors or a refuted
-    validation.
+    domain's generated query families.  ``--format {text,json,sarif}``
+    selects the rendering (``--json`` is kept as an alias for
+    ``--format json``; ``sarif`` emits a SARIF 2.1.0 document for
+    code-scanning UIs); ``--validate`` additionally consolidates each
+    batch and runs the abstract-interpretation translation validator over
+    every merged pair; ``--prefilter`` synthesizes the reject-early guard
+    for every program and reports its shape and certificate (a guard that
+    *degraded* surfaces as a warning).  Exit status: 0 clean, 1 warnings
+    only, 2 errors or a refuted validation.
+
+``prefilter``
+    Prefilter synthesis report (:mod:`repro.analysis.prefilter`): place
+    every generated query of a domain on the vectorizability ladder
+    (straight-line / branch-free / bounded-loop / unbounded), synthesize
+    its sound reject-early guard and print the certified ``phi`` per
+    program.  ``--consolidate`` additionally merges each family batch and
+    synthesizes the guard for the consolidated program.
 
 ``figure9`` / ``figure10``
     Regenerate the paper's evaluation figures (textual rendering).
@@ -167,6 +179,41 @@ def cmd_consolidate(args) -> int:
     return 0
 
 
+def _prefilter_findings(batch, functions):
+    """One informational (or degraded-warning) lint finding per program."""
+
+    from .analysis.prefilter import synthesize_prefilter
+    from .analysis.static import Finding
+    from .lang.printer import expr_to_str
+
+    findings = []
+    for program in batch:
+        pre = synthesize_prefilter(program, functions)
+        if pre.certificate == "degraded":
+            findings.append(
+                Finding(
+                    rule="prefilter-degraded",
+                    severity="warning",
+                    message=f"prefilter degraded to true: {pre.degraded_reason}",
+                    program=program.pid,
+                    snippet=f"shape={pre.shape}",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    rule="prefilter",
+                    severity="note",
+                    message=(
+                        f"shape={pre.shape} certificate={pre.certificate} "
+                        f"phi={expr_to_str(pre.phi)}"
+                    ),
+                    program=program.pid,
+                )
+            )
+    return findings
+
+
 def cmd_lint(args) -> int:
     import json
 
@@ -174,6 +221,7 @@ def cmd_lint(args) -> int:
 
     dataset = _domain_dataset(args.domain)
     functions = dataset.functions if dataset else FunctionTable()
+    fmt = "json" if args.json and args.format == "text" else args.format
 
     # Batches are linted together but consolidated separately: families
     # reuse pids, and consolidation requires disjoint notification ids.
@@ -192,7 +240,13 @@ def cmd_lint(args) -> int:
 
     reports = []
     for batch in batches:
-        reports.extend(lint_programs(batch, functions))
+        batch_reports = lint_programs(batch, functions)
+        if args.prefilter:
+            for report, finding in zip(
+                batch_reports, _prefilter_findings(batch, functions)
+            ):
+                report.findings = report.findings + (finding,)
+        reports.extend(batch_reports)
 
     validations = []
     if args.validate:
@@ -209,7 +263,11 @@ def cmd_lint(args) -> int:
     warnings = sum(len(r.warnings) for r in reports)
     certified = sum(1 for v in validations if v.certified)
 
-    if args.json:
+    if fmt == "sarif":
+        from .analysis.static import render_sarif
+
+        print(render_sarif(reports))
+    elif fmt == "json":
         doc = {
             "programs": len(reports),
             "errors": errors,
@@ -232,6 +290,50 @@ def cmd_lint(args) -> int:
         return 2
     if warnings:
         return 1
+    return 0
+
+
+def cmd_prefilter(args) -> int:
+    import json
+
+    from .analysis.prefilter import synthesize_prefilter
+    from .queries import DOMAIN_QUERIES
+
+    dataset = _domain_dataset(args.domain)
+    module = DOMAIN_QUERIES[args.domain]
+    families = [args.family] if args.family else list(module.FAMILY_NAMES)
+    rows: list[dict] = []
+    for family in families:
+        batch = module.make_batch(dataset, family, n=args.n, seed=args.seed)
+        targets = list(batch)
+        if args.consolidate and len(batch) >= 2:
+            merged = consolidate_all(
+                batch, dataset.functions, config=_config_from_args(args)
+            )
+            targets.append(merged.program)
+        for program in targets:
+            pre = synthesize_prefilter(program, dataset.functions)
+            row = pre.to_dict()
+            row["family"] = family
+            rows.append(row)
+    if args.json:
+        print(json.dumps({"domain": args.domain, "rows": rows}, indent=2))
+    else:
+        for row in rows:
+            line = (
+                f"{row['family']:>8s}  {row['pid']:16s} {row['shape']:13s} "
+                f"{row['certificate']:8s} phi = {row['phi']}"
+            )
+            if row["degraded_reason"]:
+                line += f"  ({row['degraded_reason']})"
+            print(line)
+        useful = sum(1 for r in rows if not r["trivial"])
+        print(
+            f"# synthesized {len(rows)} prefilters for {args.domain}: "
+            f"{useful} non-trivial",
+            file=sys.stderr,
+        )
+    args._artifact["rows"] = rows
     return 0
 
 
@@ -445,13 +547,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--family", help="lint one generated family (default: all)")
     p.add_argument("--n", type=int, default=50, help="queries per generated family")
     p.add_argument("--seed", type=int, default=1)
-    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="rendering (default: %(default)s; sarif emits a SARIF 2.1.0 "
+        "document for code-scanning UIs)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (alias for --format json)",
+    )
     p.add_argument(
         "--validate",
         action="store_true",
         help="also consolidate each batch and statically validate every pair",
     )
+    p.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="synthesize the reject-early guard per program and report its "
+        "shape/certificate (degraded guards become warnings)",
+    )
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "prefilter",
+        help="prefilter synthesis + vectorizability report",
+        parents=[common],
+    )
+    p.add_argument(
+        "--domain",
+        required=True,
+        choices=["weather", "flight", "news", "twitter", "stock"],
+        help="evaluation domain supplying the query batches",
+    )
+    p.add_argument("--family", help="one generated family (default: all)")
+    p.add_argument("--n", type=int, default=6, help="queries per family")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--consolidate",
+        action="store_true",
+        help="also consolidate each family batch and synthesize the merged "
+        "program's guard",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_prefilter)
 
     p = sub.add_parser("run", help="run one program", parents=[common])
     p.add_argument("file")

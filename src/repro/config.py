@@ -80,6 +80,13 @@ class ExecutionConfig:
         ``ConsolidationReport.derivations``.  Off by default — recording
         follows the NULL-twin pattern, so the disabled path costs one
         boolean check per decision point.
+    ``prefilter``
+        When True, ``consolidate_all`` synthesizes a sound reject-early
+        guard (:func:`repro.analysis.prefilter.synthesize_prefilter`) for
+        the merged program and the Where operators evaluate it before the
+        full UDF, skipping rows that provably notify nobody.  Off by
+        default — the disabled hot path costs one ``None`` check per
+        record, mirroring the telemetry discipline.
     """
 
     backend: str = DEFAULT_BACKEND
@@ -94,6 +101,7 @@ class ExecutionConfig:
     telemetry: Telemetry = NULL_TELEMETRY
     sink: object = None
     provenance: bool = False
+    prefilter: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

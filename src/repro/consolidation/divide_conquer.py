@@ -99,6 +99,13 @@ class ConsolidationReport:
     when provenance recording was requested (``provenance=True`` or
     ``config.provenance``); it is empty otherwise.
 
+    ``prefilter`` holds the :class:`repro.analysis.prefilter.Prefilter`
+    synthesized for the merged program when requested (``prefilter=True``
+    or ``config.prefilter``), and ``prefilter_seconds`` its synthesis
+    time — reported separately from ``duration`` (and spanned as
+    ``consolidate.prefilter``) so guard synthesis can be banded apart
+    from merge time.
+
     ``skipped_pairs`` records every pair merge that failed mid-batch and
     was replaced by the sequential composition of its two inputs (one
     ``{"left", "right", "reason"}`` dict per skip); ``degradations`` is a
@@ -114,6 +121,8 @@ class ConsolidationReport:
     pair_consolidations: int = 0
     tree_depth: int = 0
     duration: float = 0.0
+    prefilter: object = None
+    prefilter_seconds: float = 0.0
     solver_stats: dict[str, int] = field(default_factory=dict)
     parallel: bool = False
     max_workers: int = 1
@@ -233,6 +242,7 @@ def consolidate_all(
     telemetry=None,
     config=None,
     provenance: Optional[bool] = None,
+    prefilter: Optional[bool] = None,
 ) -> ConsolidationReport:
     """Merge ``programs`` into one program broadcasting every result.
 
@@ -252,6 +262,11 @@ def consolidate_all(
     :class:`~repro.provenance.DerivationTree` per merged pair onto the
     report's ``derivations`` — every rule application, entailment, rewrite
     and heuristic decision of the batch.
+
+    ``prefilter=True`` additionally synthesizes a sound reject-early guard
+    for the final merged program (see :mod:`repro.analysis.prefilter`);
+    the result and its timing land on ``report.prefilter`` /
+    ``report.prefilter_seconds``.
     """
 
     if not programs:
@@ -291,6 +306,8 @@ def consolidate_all(
         telemetry = config.telemetry if config is not None else NULL_TELEMETRY
     if provenance is None:
         provenance = bool(config.provenance) if config is not None else False
+    if prefilter is None:
+        prefilter = bool(config.prefilter) if config is not None else False
 
     if order == "priority":
         rank = {pid: i for i, pid in enumerate(priority or [])}
@@ -447,6 +464,32 @@ def consolidate_all(
         if pool is not None:
             pool.shutdown()
 
+    # Prefilter synthesis runs on the final merged program, inside its own
+    # span and timed separately, so trajectory banding can tell guard
+    # synthesis apart from merge time.  It reuses the batch solver (before
+    # the stats snapshot below, so its certificate queries are counted).
+    prefilter_obj = None
+    prefilter_seconds = 0.0
+    if prefilter:
+        from ..analysis.prefilter import synthesize_prefilter
+
+        recorder = DerivationRecorder() if provenance else None
+        prefilter_started = time.perf_counter()
+        with telemetry.span("consolidate.prefilter", program=result.pid):
+            prefilter_obj = synthesize_prefilter(
+                result,
+                functions,
+                cost_model,
+                solver=solver,
+                recorder=recorder,
+                telemetry=telemetry,
+            )
+        prefilter_seconds = time.perf_counter() - prefilter_started
+        if prefilter_obj.certificate == "degraded":
+            degradations.append(
+                f"prefilter degraded to true: {prefilter_obj.degraded_reason}"
+            )
+
     solver_stats = solver.stats.snapshot()
     for key, value in extra_solver_stats.items():
         solver_stats[key] = solver_stats.get(key, 0) + value
@@ -478,12 +521,17 @@ def consolidate_all(
             simplify_snapshot.get("memo_hit_rate", 0.0)
         )
 
+    if prefilter_obj is not None and prefilter_obj.derivation is not None:
+        derivations.append(prefilter_obj.derivation)
+
     return ConsolidationReport(
         program=result,
         num_inputs=len(programs),
         pair_consolidations=pairs,
         tree_depth=depth,
         duration=time.perf_counter() - started,
+        prefilter=prefilter_obj,
+        prefilter_seconds=prefilter_seconds,
         solver_stats=solver_stats,
         parallel=executor != "serial",
         max_workers=max_workers if executor != "serial" else 1,

@@ -74,6 +74,7 @@ class Query:
             "backend": cfg.backend,
             "memoize_calls": cfg.memoize_calls,
             "telemetry": cfg.telemetry,
+            "prefilter": cfg.prefilter,
         }
 
     def where(

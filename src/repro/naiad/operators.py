@@ -15,11 +15,21 @@ The two that matter for the evaluation (Section 6.1):
 Both route a record into bucket ``pid`` whenever query ``pid`` accepts it,
 so downstream consumers cannot tell them apart — equivalence is asserted by
 the test-suite and the harness.
+
+With ``prefilter=True`` the Where operators synthesize a sound
+reject-early guard (:mod:`repro.analysis.prefilter`) per UDF at
+construction time and evaluate it first on every record: a row the guard
+rejects provably notifies nobody, so the full UDF is skipped and only the
+guard's (much smaller) cost is charged.  Guards fail open — any synthesis
+or runtime problem means "no guard", never a changed bucket.  The
+rejection counts surface as ``prefilter_checked_total`` /
+``prefilter_rejected_total`` counters and a ``prefilter_selectivity``
+gauge when telemetry is enabled.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from ..lang.ast import Program
 from ..lang.compile import DEFAULT_BACKEND, make_runner
@@ -45,7 +55,58 @@ def _bind_args(program: Program, record: Any) -> dict[str, Any]:
     return {program.params[0]: record}
 
 
-class Where(Vertex):
+def _make_guards(
+    programs: Sequence[Program],
+    functions: FunctionTable,
+    cost_model: CostModel,
+    backend: str,
+    telemetry,
+) -> Optional[list]:
+    """Build one prefilter guard per program; None when no guard is usable."""
+
+    from ..analysis.prefilter import make_guard
+
+    guards = [
+        make_guard(
+            p, functions, cost_model, backend=backend, telemetry=telemetry
+        )
+        for p in programs
+    ]
+    return guards if any(g is not None for g in guards) else None
+
+
+class _PrefilterMixin:
+    """Shared rejection bookkeeping for the Where operators."""
+
+    _telemetry = None
+    _pre_checked = 0
+    _pre_rejected = 0
+
+    def _reject(self, guard, args: Mapping[str, Any], worker: Worker) -> bool:
+        """Evaluate ``guard``; True when the record is provably a no-op."""
+
+        passes, cost = guard(args)
+        self._pre_checked += 1
+        worker.charge_udf(cost)
+        if passes:
+            return False
+        self._pre_rejected += 1
+        return True
+
+    def on_flush(self, worker: Worker) -> None:
+        telemetry = self._telemetry
+        if telemetry is None or not telemetry.enabled or not self._pre_checked:
+            return
+        telemetry.counter("prefilter_checked_total").inc(self._pre_checked)
+        telemetry.counter("prefilter_rejected_total").inc(self._pre_rejected)
+        telemetry.gauge("prefilter_selectivity").set(
+            1.0 - self._pre_rejected / self._pre_checked
+        )
+        self._pre_checked = 0
+        self._pre_rejected = 0
+
+
+class Where(_PrefilterMixin, Vertex):
     """A single-UDF filter: passes records the UDF accepts."""
 
     def __init__(
@@ -56,9 +117,17 @@ class Where(Vertex):
         memoize_calls: bool = False,
         backend: str = DEFAULT_BACKEND,
         telemetry=None,
+        prefilter: bool = False,
     ) -> None:
         super().__init__(f"where[{program.pid}]")
         self.program = program
+        self._telemetry = telemetry
+        self.guard = None
+        if prefilter:
+            guards = _make_guards(
+                [program], functions, cost_model, backend, telemetry
+            )
+            self.guard = guards[0] if guards else None
         self.runner = make_runner(
             program,
             functions,
@@ -69,13 +138,16 @@ class Where(Vertex):
         )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
-        result = self.runner(_bind_args(self.program, record))
+        args = _bind_args(self.program, record)
+        if self.guard is not None and self._reject(self.guard, args, worker):
+            return
+        result = self.runner(args)
         worker.charge_udf(result.cost)
         if result.notification(self.program.pid):
             yield record
 
 
-class WhereMany(Vertex):
+class WhereMany(_PrefilterMixin, Vertex):
     """The sequential baseline: run every UDF on every record."""
 
     def __init__(
@@ -86,11 +158,18 @@ class WhereMany(Vertex):
         memoize_calls: bool = False,
         backend: str = DEFAULT_BACKEND,
         telemetry=None,
+        prefilter: bool = False,
     ) -> None:
         super().__init__(f"whereMany[{len(programs)}]")
         if not programs:
             raise ValueError("whereMany needs at least one UDF")
         self.programs = list(programs)
+        self._telemetry = telemetry
+        self.guards = (
+            _make_guards(self.programs, functions, cost_model, backend, telemetry)
+            if prefilter
+            else None
+        )
         self.runners = [
             make_runner(
                 p,
@@ -104,15 +183,21 @@ class WhereMany(Vertex):
         ]
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
-        for program, runner in zip(self.programs, self.runners):
-            result = runner(_bind_args(program, record))
+        guards = self.guards
+        for index, (program, runner) in enumerate(zip(self.programs, self.runners)):
+            args = _bind_args(program, record)
+            if guards is not None:
+                guard = guards[index]
+                if guard is not None and self._reject(guard, args, worker):
+                    continue
+            result = runner(args)
             worker.charge_udf(result.cost)
             if result.notification(program.pid):
                 worker.notify(program.pid, record)
         return ()
 
 
-class WhereConsolidated(Vertex):
+class WhereConsolidated(_PrefilterMixin, Vertex):
     """The consolidated operator: one merged UDF, all results broadcast."""
 
     def __init__(
@@ -124,10 +209,18 @@ class WhereConsolidated(Vertex):
         memoize_calls: bool = False,
         backend: str = DEFAULT_BACKEND,
         telemetry=None,
+        prefilter: bool = False,
     ) -> None:
         super().__init__(f"whereConsolidated[{len(pids)}]")
         self.merged = merged
         self.pids = list(pids)
+        self._telemetry = telemetry
+        self.guard = None
+        if prefilter:
+            guards = _make_guards(
+                [merged], functions, cost_model, backend, telemetry
+            )
+            self.guard = guards[0] if guards else None
         self.runner = make_runner(
             merged,
             functions,
@@ -138,7 +231,10 @@ class WhereConsolidated(Vertex):
         )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
-        result = self.runner(_bind_args(self.merged, record))
+        args = _bind_args(self.merged, record)
+        if self.guard is not None and self._reject(self.guard, args, worker):
+            return ()
+        result = self.runner(args)
         worker.charge_udf(result.cost)
         for pid in self.pids:
             if result.notification(pid):

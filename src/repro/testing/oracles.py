@@ -19,7 +19,10 @@ is checked:
   program (notification equality + cost bound per input);
 * **validate_consolidation** — the static validator must not *refute* the
   merge (``unknown`` is acceptable: it is the validator giving up, not a
-  counterexample).
+  counterexample);
+* **prefilter soundness** — every program (and the merged program) gets a
+  synthesized reject-early guard; a row the guard rejects must produce no
+  truthy notification when the full UDF runs.
 
 Every disagreement comes back as a :class:`Discrepancy`; an empty list is
 the oracle saying "all paths agree on this case".
@@ -51,7 +54,7 @@ __all__ = ["Discrepancy", "BatteryResult", "run_battery"]
 class Discrepancy:
     """One disagreement between two execution paths that must agree."""
 
-    oracle: str  # 'backend' | 'dataflow' | 'executor' | 'soundness' | 'validator'
+    oracle: str  # 'backend' | 'dataflow' | 'executor' | 'soundness' | 'validator' | 'prefilter'
     detail: str
     args: dict = field(default_factory=dict)
 
@@ -293,6 +296,64 @@ def _check_validator(
         )
 
 
+def _check_prefilter(
+    programs: Sequence[Program],
+    report: ConsolidationReport | None,
+    dataset: Dataset,
+    inputs: Sequence[Mapping[str, object]],
+    cost_model: CostModel,
+    out: list[Discrepancy],
+) -> None:
+    """Prefilter soundness: a rejected row must notify nobody (truthily).
+
+    Every program in the batch — and the merged program, when dataflow
+    produced one — gets a synthesized guard; for each input the guard
+    rejects, the full UDF is run under the interpreter and must yield no
+    truthy notification.  A full run that *raises* notifies nobody, so a
+    rejection there is correct, not a discrepancy.  Synthesis itself must
+    never raise (degradation to ``phi = true`` is its only failure mode).
+    """
+
+    from ..analysis.prefilter import compile_prefilter, synthesize_prefilter
+
+    interp = Interpreter(dataset.functions, cost_model)
+    targets = list(programs)
+    if report is not None:
+        targets.append(report.program)
+    for program in targets:
+        try:
+            prefilter = synthesize_prefilter(program, dataset.functions, cost_model)
+            guard = compile_prefilter(prefilter, program, dataset.functions, cost_model)
+        except Exception as exc:  # noqa: BLE001 - "never raises" is the contract
+            out.append(
+                Discrepancy(
+                    "prefilter",
+                    f"{program.pid}: synthesis raised {type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        if guard is None:
+            continue
+        for args in inputs:
+            passes, _cost = guard(args)
+            if passes:
+                continue
+            try:
+                result = interp.run(program, args)
+            except Exception:  # noqa: BLE001 - a crashing UDF notifies nobody
+                continue
+            truthy = [pid for pid, value in result.notifications.items() if value]
+            if truthy:
+                out.append(
+                    Discrepancy(
+                        "prefilter",
+                        f"{program.pid}: prefilter rejected a row that "
+                        f"notifies {truthy}",
+                        dict(args),
+                    )
+                )
+
+
 def run_battery(
     programs: Sequence[Program],
     dataset: Dataset,
@@ -344,4 +405,7 @@ def run_battery(
             if expired():
                 return result
             _check_validator(programs, report, dataset, cost_model, out)
+    if expired():
+        return result
+    _check_prefilter(programs, report, dataset, inputs, cost_model, out)
     return result

@@ -1,0 +1,82 @@
+"""The vectorizability ladder is stable across every evaluation domain.
+
+These tags are part of the public surface (``repro prefilter`` prints
+them, DESIGN.md §10 documents them), so each generated query family is
+pinned to the shape the classifier must assign it.  A change here is an
+intentional API change, not noise: update DESIGN.md alongside.
+
+* weather Q1/Q2 are guarded aggregate comparisons — ``branch-free``;
+* weather Q3/Q4 scan the twelve months with a constant-trip loop —
+  ``bounded-loop``;
+* every other domain's families compile to nested conditionals over
+  accessor calls — ``branch-free``.
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.analysis.prefilter import classify_shape, synthesize_prefilter
+from repro.queries import DOMAIN_QUERIES
+
+# domain -> family -> expected shape tag for every program in the batch
+EXPECTED = {
+    "weather": {
+        "Q1": "branch-free",
+        "Q2": "branch-free",
+        "Q3": "bounded-loop",
+        "Q4": "bounded-loop",
+        "Mix": "branch-free",
+    },
+    "flight": {f: "branch-free" for f in ("Q1", "Q2", "Q3", "Mix")},
+    "news": {f: "branch-free" for f in ("Q1", "Q2", "Q3", "BC")},
+    "twitter": {f: "branch-free" for f in ("Q1", "Q2", "Q3", "BC")},
+    "stock": {f: "branch-free" for f in ("Q1", "Q2", "Q3", "BC")},
+}
+
+_MAKERS = {
+    "weather": lambda: ds.generate_weather(cities=15),
+    "flight": lambda: ds.generate_flights(airlines=15),
+    "news": lambda: ds.generate_news(articles=40),
+    "twitter": lambda: ds.generate_twitter(tweets=40),
+    "stock": lambda: ds.generate_stocks(companies=8, total_daily_rows=300),
+}
+
+
+@pytest.fixture(scope="module")
+def domain_datasets():
+    return {name: make() for name, make in _MAKERS.items()}
+
+
+def test_expected_table_covers_every_family():
+    for domain, module in DOMAIN_QUERIES.items():
+        assert set(EXPECTED[domain]) == set(module.FAMILY_NAMES), domain
+
+
+@pytest.mark.parametrize("domain", sorted(EXPECTED))
+def test_shape_tags_are_stable(domain, domain_datasets):
+    dataset = domain_datasets[domain]
+    module = DOMAIN_QUERIES[domain]
+    for family, expected in EXPECTED[domain].items():
+        batch = module.make_batch(dataset, family, n=3, seed=1)
+        for program in batch:
+            got = classify_shape(program, dataset.functions)
+            assert got == expected, f"{domain}/{family}/{program.pid}: {got}"
+
+
+@pytest.mark.parametrize("domain", sorted(EXPECTED))
+def test_branch_free_families_synthesize_certified_guards(domain, domain_datasets):
+    """Branch-free queries must come with a *proved* non-trivial guard."""
+
+    dataset = domain_datasets[domain]
+    module = DOMAIN_QUERIES[domain]
+    for family, expected in EXPECTED[domain].items():
+        if expected != "branch-free":
+            continue
+        batch = module.make_batch(dataset, family, n=2, seed=1)
+        for program in batch:
+            pre = synthesize_prefilter(program, dataset.functions)
+            assert pre.certificate == "proved", (
+                f"{domain}/{family}/{program.pid}: {pre.certificate} "
+                f"({pre.degraded_reason})"
+            )
+            assert not pre.trivial
