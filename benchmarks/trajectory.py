@@ -54,6 +54,11 @@ METRIC_SPECS = {
     "weather_consolidation_seconds": ("lower", 0.50),
     "weather_run_seconds": ("lower", 0.50),
     "weather_prefilter_synthesis_seconds": ("lower", 0.50),
+    # Service economics: seconds for one incremental add divided by
+    # seconds for the full batch re-consolidation.  Both halves run on
+    # the same machine in the same process, so the ratio is far more
+    # stable than either wall-clock alone.
+    "weather_incremental_ratio": ("lower", 0.50),
 }
 
 SCALES = {
@@ -108,6 +113,17 @@ def collect_metrics(scale: str) -> dict:
     if many.buckets != cons.buckets:
         raise SystemExit("trajectory workload: consolidated buckets diverged")
 
+    # Incremental-vs-full: patch the merge tree of n-1 programs with the
+    # last one and compare against the full batch's consolidation time.
+    from repro.consolidation.incremental import add_query, rebuild
+
+    tree, _ = rebuild(programs[:-1], dataset.functions, provenance=False)
+    started = time.perf_counter()
+    add_query(
+        tree, programs[-1], dataset.functions, static_validate=False, record=False
+    )
+    incremental_seconds = time.perf_counter() - started
+
     # The prefilter gate rides along at a fixed reduced scale: the cost
     # speedup is deterministic (virtual clock), so any drop is algorithmic.
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
@@ -126,6 +142,9 @@ def collect_metrics(scale: str) -> dict:
         "weather_consolidation_seconds": round(consolidation_seconds, 4),
         "weather_run_seconds": round(run_seconds, 4),
         "weather_prefilter_synthesis_seconds": prefilter["synthesis_seconds"],
+        "weather_incremental_ratio": round(
+            incremental_seconds / max(consolidation_seconds, 1e-9), 4
+        ),
     }
 
 

@@ -15,6 +15,12 @@ Public API tour:
 * :mod:`repro.datasets` / :mod:`repro.queries` — the five evaluation
   domains and their query families (Section 6.2);
 * :mod:`repro.experiments` — Figure 9 / Figure 10 harnesses;
+* :mod:`repro.api` — the stable five-verb facade (``consolidate``,
+  ``run``, ``register``, ``unregister``, ``explain``) shared by the CLI
+  and the service;
+* :mod:`repro.service` — consolidation as a long-running service:
+  dynamic query registry, plan cache, incremental re-consolidation,
+  ``repro serve`` + a typed HTTP client;
 * :mod:`repro.config` / :mod:`repro.telemetry` — the one-object run
   configuration (:class:`ExecutionConfig`) and the observability layer
   (:class:`Telemetry`, metrics registry, tracing spans, sinks).
@@ -31,7 +37,7 @@ Quick start::
     result = repro.run_where_many(ds.rows, programs, ds.functions, config=cfg)
 """
 
-from .config import ExecutionConfig
+from .config import ExecutionConfig, ServiceConfig
 from .consolidation import (
     ConsolidationOptions,
     ConsolidationReport,
@@ -87,6 +93,7 @@ from .lang.builder import (
     while_,
 )
 from .naiad import Query, from_collection, run_where_consolidated, run_where_many
+from . import api
 from .telemetry import (
     InMemorySink,
     JsonlFileSink,
@@ -98,14 +105,17 @@ from .telemetry import (
     prometheus_text,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # ``parse`` is the friendly alias for the concrete-syntax parser.
 parse = parse_program
 
 __all__ = [
+    # the stable five-verb facade (register/unregister/consolidate/run/explain)
+    "api",
     # configuration + observability
     "ExecutionConfig",
+    "ServiceConfig",
     "Telemetry",
     "NULL_TELEMETRY",
     "MetricsRegistry",

@@ -49,6 +49,17 @@ Commands
     predicted-vs-actual operator cost as a text tree, JSON document or a
     self-contained HTML report (``--format``, ``--out``).
 
+``serve``
+    Run the consolidation service (:mod:`repro.service`): a stdlib HTTP
+    server where tenants register/unregister Figure-1 UDF queries
+    dynamically.  Admission runs the linter and rejects with SARIF
+    diagnostics; equivalent re-registrations hit a plan cache keyed by
+    canonical fingerprints; single add/remove patches the merge tree
+    incrementally (with recorded fallback to full re-consolidation); an
+    optional ``--event-log`` journal makes state replayable on restart.
+    ``--port 0`` binds an ephemeral port, printed as ``serving on
+    http://…`` at startup.
+
 ``fuzz``
     Differential fuzzing (:mod:`repro.testing`): generate random typed UDF
     batches and run the oracle battery (interpreter vs compiled backend,
@@ -147,6 +158,8 @@ def _load_programs(paths):
 
 
 def cmd_consolidate(args) -> int:
+    from . import api
+
     programs = _load_programs(args.files)
     dataset = _domain_dataset(args.domain)
     functions = dataset.functions if dataset else FunctionTable()
@@ -155,7 +168,7 @@ def cmd_consolidate(args) -> int:
         enable_loop_rules=not args.no_loops,
         use_smt=not args.no_smt,
     )
-    report = consolidate_all(
+    report = api.consolidate(
         programs, functions, options=options, config=_config_from_args(args)
     )
     print(program_to_str(report.program))
@@ -490,6 +503,46 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    from .config import ServiceConfig
+    from .service import serve
+
+    dataset = _domain_dataset(args.domain)
+    functions = dataset.functions if dataset else FunctionTable()
+    service = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        event_log=args.event_log,
+        static_validate_patches=not args.no_validate_patches,
+        rebalance_factor=args.rebalance_factor,
+        plan_cache_size=args.plan_cache_size,
+        admit_warnings=not args.strict_admission,
+    )
+    server = serve(
+        functions,
+        config=_config_from_args(args),
+        service=service,
+        verbose=args.verbose,
+    )
+    registry = server.registry
+    if len(registry):
+        print(
+            f"# replayed {len(registry)} queries from {args.event_log}",
+            file=sys.stderr,
+        )
+    # The harness greps this exact line for the bound (possibly ephemeral)
+    # port, so keep its shape stable.
+    print(f"serving on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Consolidation of queries with UDFs (PLDI 2014 reproduction)"
@@ -689,6 +742,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="report failures raw, without delta-debugging them first",
     )
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the consolidation service (dynamic query registry over HTTP)",
+        parents=[common],
+    )
+    p.add_argument(
+        "--domain",
+        choices=["weather", "flight", "news", "twitter", "stock"],
+        help="evaluation domain supplying library functions (default: none)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (default: %(default)s; 0 asks the OS for an "
+        "ephemeral port, printed on startup)",
+    )
+    p.add_argument(
+        "--event-log",
+        metavar="PATH",
+        help="append-only registry journal; replayed on startup so restarts "
+        "recover the same plan fingerprints",
+    )
+    p.add_argument(
+        "--no-validate-patches",
+        action="store_true",
+        help="skip the static translation validator on incremental patches",
+    )
+    p.add_argument(
+        "--rebalance-factor",
+        type=float,
+        default=2.0,
+        help="rebuild the merge tree when its depth exceeds this multiple "
+        "of the balanced depth (default: %(default)s)",
+    )
+    p.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=128,
+        help="retained consolidated plans, LRU-evicted (0 disables)",
+    )
+    p.add_argument(
+        "--strict-admission",
+        action="store_true",
+        help="reject submissions on lint warnings, not only errors",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="how full-rebuild pair merges run (default: serial)",
+    )
+    p.add_argument("--max-workers", type=int, default=None)
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

@@ -32,17 +32,36 @@ from .lang.cost import DEFAULT_COST_MODEL, CostModel
 from .lang.functions import FunctionTable
 from .telemetry import NULL_TELEMETRY, Telemetry
 
-__all__ = ["ExecutionConfig", "EXECUTORS", "resolve_config", "deprecated_kwarg"]
+__all__ = [
+    "ExecutionConfig",
+    "ServiceConfig",
+    "EXECUTORS",
+    "LEGACY_KWARG_REMOVAL",
+    "resolve_config",
+    "deprecated_kwarg",
+]
 
 EXECUTORS = ("serial", "thread", "process")
 
+# The version in which every legacy per-function keyword disappears; the
+# deprecation warnings name it so callers can plan, and
+# tests/test_api_surface.py pins the message shape.
+LEGACY_KWARG_REMOVAL = "2.0"
+
 
 def deprecated_kwarg(name: str, instead: str, stacklevel: int = 3) -> None:
-    """Emit the standard deprecation warning for a legacy keyword."""
+    """Emit the standard deprecation warning for a legacy keyword.
+
+    ``instead`` names the exact :class:`ExecutionConfig` field (and value)
+    that replaces the keyword, e.g. ``"workers=2"`` or
+    ``"executor='thread'"``; the warning also states the scheduled
+    removal version so the deprecation cycle is actionable.
+    """
 
     warnings.warn(
-        f"the {name!r} keyword is deprecated; pass "
-        f"ExecutionConfig({instead}) via config= instead",
+        f"the {name!r} keyword is deprecated and will be removed in repro "
+        f"{LEGACY_KWARG_REMOVAL}; set ExecutionConfig({instead}) and pass it "
+        f"via config= instead",
         DeprecationWarning,
         stacklevel=stacklevel + 1,
     )
@@ -109,9 +128,13 @@ class ExecutionConfig:
         if self.executor not in EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r}; choose from {EXECUTORS}")
         if self.workers < 1:
-            raise ValueError("need at least one worker")
+            raise ValueError(
+                f"workers must be an integer >= 1, got {self.workers!r}"
+            )
         if self.max_workers < 1:
-            raise ValueError("need at least one executor worker")
+            raise ValueError(
+                f"max_workers must be an integer >= 1, got {self.max_workers!r}"
+            )
 
     def evolve(self, **changes) -> "ExecutionConfig":
         """A copy with ``changes`` applied (the config is immutable)."""
@@ -132,6 +155,68 @@ class ExecutionConfig:
 
         if self.sink is not None:
             self.telemetry.export(self.sink)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for the consolidation service (``repro serve``).
+
+    ``host`` / ``port``
+        Bind address; port 0 asks the OS for an ephemeral port.
+    ``event_log``
+        Path of the append-only registry journal.  ``None`` keeps the
+        registry in-memory only (no durability, no replay on restart).
+    ``static_validate_patches``
+        Run the abstract-interpretation translation validator on every
+        incremental pair merge; an uncertified patch falls back to a full
+        re-consolidation (recorded, never silent).
+    ``record_derivations``
+        Record one provenance :class:`~repro.provenance.DerivationTree`
+        per patched pair merge, so ``/v1/explain`` (and the equivalence
+        suite) can count pair merges from provenance records alone.
+    ``rebalance_factor``
+        Incremental adds graft at the root and slowly grow a spine; when
+        the tree's depth exceeds ``rebalance_factor × ⌈log₂ n⌉ + 1`` the
+        registry rebuilds the balanced tree instead (a recorded rebuild,
+        not a failure).  Must be ≥ 1.0.
+    ``plan_cache_size``
+        Maximum retained consolidated plans, evicted least-recently-used.
+        0 disables the cache.
+    ``admit_warnings``
+        When False, a lint *warning* rejects a submission just like an
+        error (the default only rejects on errors).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    event_log: Optional[str] = None
+    static_validate_patches: bool = True
+    record_derivations: bool = True
+    rebalance_factor: float = 2.0
+    plan_cache_size: int = 128
+    admit_warnings: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError(
+                f"port must be an integer in 0..65535 (0 = ephemeral), "
+                f"got {self.port!r}"
+            )
+        if self.rebalance_factor < 1.0:
+            raise ValueError(
+                f"rebalance_factor must be a float >= 1.0, got "
+                f"{self.rebalance_factor!r}"
+            )
+        if self.plan_cache_size < 0:
+            raise ValueError(
+                f"plan_cache_size must be an integer >= 0 (0 disables the "
+                f"cache), got {self.plan_cache_size!r}"
+            )
+
+    def evolve(self, **changes) -> "ServiceConfig":
+        """A copy with ``changes`` applied (the config is immutable)."""
+
+        return replace(self, **changes)
 
 
 def resolve_config(

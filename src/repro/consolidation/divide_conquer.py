@@ -44,7 +44,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from ..lang.ast import Program, seq
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
@@ -56,7 +56,13 @@ from ..telemetry import NULL_TELEMETRY
 from .algorithm import ConsolidationError, ConsolidationOptions, Consolidator
 from .simplifier import SimplifyStats
 
-__all__ = ["ConsolidationReport", "consolidate_all", "FAULT_HOOK", "SMT_UNKNOWN_NOTE"]
+__all__ = [
+    "ConsolidationReport",
+    "MergeNode",
+    "consolidate_all",
+    "FAULT_HOOK",
+    "SMT_UNKNOWN_NOTE",
+]
 
 _EXECUTORS = ("serial", "thread", "process")
 
@@ -79,6 +85,70 @@ SMT_UNKNOWN_NOTE = "SMT solver returned unknown"
 #                                    level serially.
 # None — the production value — costs one attribute read per pair.
 FAULT_HOOK = None
+
+
+@dataclass
+class MergeNode:
+    """One node of the divide-and-conquer merge tree.
+
+    Leaves hold the original (unmerged) programs; an internal node holds
+    the program produced by consolidating its two children.  The tree is
+    treated as immutable: the incremental re-consolidation engine
+    (:mod:`repro.consolidation.incremental`) patches it by rebuilding only
+    the nodes on the path it touched, sharing every untouched subtree.
+    """
+
+    program: Program
+    left: Optional["MergeNode"] = None
+    right: Optional["MergeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def leaves(self) -> Iterator["MergeNode"]:
+        """The leaf nodes in left-to-right order."""
+
+        if self.is_leaf:
+            yield self
+            return
+        for child in (self.left, self.right):
+            if child is not None:
+                yield from child.leaves()
+
+    def leaf_pids(self) -> list[str]:
+        return [leaf.program.pid for leaf in self.leaves()]
+
+    def depth(self) -> int:
+        """Height of the tree (a single leaf has depth 1)."""
+
+        if self.is_leaf:
+            return 1
+        children = [c for c in (self.left, self.right) if c is not None]
+        return 1 + max(c.depth() for c in children)
+
+    def internal_count(self) -> int:
+        """Number of internal nodes, i.e. pair merges the tree embodies."""
+
+        if self.is_leaf:
+            return 0
+        count = 1
+        for child in (self.left, self.right):
+            if child is not None:
+                count += child.internal_count()
+        return count
+
+    def shape(self) -> object:
+        """A JSON-friendly rendering of the tree's structure (pids only)."""
+
+        if self.is_leaf:
+            return self.program.pid
+        return {
+            "pid": self.program.pid,
+            "children": [
+                c.shape() for c in (self.left, self.right) if c is not None
+            ],
+        }
 
 
 @dataclass
@@ -132,6 +202,7 @@ class ConsolidationReport:
     skipped_pairs: list = field(default_factory=list)
     degradations: list = field(default_factory=list)
     derivations: list = field(default_factory=list)
+    merge_tree: Optional[MergeNode] = None
 
     @property
     def all_certified(self) -> bool:
@@ -243,6 +314,7 @@ def consolidate_all(
     config=None,
     provenance: Optional[bool] = None,
     prefilter: Optional[bool] = None,
+    keep_tree: bool = False,
 ) -> ConsolidationReport:
     """Merge ``programs`` into one program broadcasting every result.
 
@@ -267,6 +339,13 @@ def consolidate_all(
     for the final merged program (see :mod:`repro.analysis.prefilter`);
     the result and its timing land on ``report.prefilter`` /
     ``report.prefilter_seconds``.
+
+    ``keep_tree=True`` records the divide-and-conquer structure itself: the
+    report's ``merge_tree`` holds one :class:`MergeNode` per original
+    program (leaves) and per pair merge (internal nodes, each carrying its
+    intermediate merged program).  The incremental re-consolidation engine
+    (:mod:`repro.consolidation.incremental`) patches this tree on
+    add/remove of a single query instead of re-running the whole batch.
     """
 
     if not programs:
@@ -400,13 +479,23 @@ def consolidate_all(
             "consolidate.batch", n=len(programs), order=order, executor=executor
         ):
             level = list(programs)
+            # ``nodes`` mirrors ``level`` one-to-one while keep_tree is on,
+            # so every intermediate merged program lands on a MergeNode.
+            nodes: list[MergeNode] | None = (
+                [MergeNode(p) for p in level] if keep_tree else None
+            )
             if order == "fold":
                 acc = level[0]
-                for nxt in level[1:]:
+                acc_node = nodes[0] if nodes is not None else None
+                for i, nxt in enumerate(level[1:], start=1):
                     acc = merge(acc, nxt)
+                    if nodes is not None:
+                        acc_node = MergeNode(acc, acc_node, nodes[i])
                     pairs += 1
                     depth += 1
                 result = acc
+                if nodes is not None:
+                    nodes = [acc_node]
             else:
                 pool_broken = False
                 while len(level) > 1:
@@ -458,6 +547,12 @@ def consolidate_all(
                     else:
                         merged = [merge(a, b) for a, b in pairings]
                     pairs += len(pairings)
+                    if nodes is not None:
+                        merged_nodes = [
+                            MergeNode(m, nodes[2 * i], nodes[2 * i + 1])
+                            for i, m in enumerate(merged)
+                        ]
+                        nodes = merged_nodes + ([nodes[-1]] if carried else [])
                     level = merged + carried
                 result = level[0]
     finally:
@@ -541,4 +636,5 @@ def consolidate_all(
         skipped_pairs=skipped,
         degradations=degradations,
         derivations=derivations,
+        merge_tree=nodes[0] if keep_tree else None,
     )

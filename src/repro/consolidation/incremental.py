@@ -1,0 +1,333 @@
+"""Incremental re-consolidation: patching the divide-and-conquer merge tree.
+
+The batch driver (:func:`repro.consolidation.consolidate_all`) merges *n*
+UDFs with *n − 1* pair consolidations.  When a long-running service adds
+or removes a single query, re-running the whole batch wastes almost all
+of that work: every subtree not containing the changed leaf is already a
+correct, cost-bounded consolidation of its own leaves.  This module
+patches the :class:`~repro.consolidation.divide_conquer.MergeNode` tree
+instead:
+
+* **add** — the new query is merged against the current root with one
+  pair consolidation, producing a new root whose left subtree is the old
+  tree (shared, not copied).  Repeated adds grow a spine; callers bound
+  the degeneracy with a depth policy and rebuild when it trips.
+* **remove** — the leaf is unlinked (its parent collapses into the
+  sibling subtree) and only the internal nodes on the leaf-to-root path
+  are re-merged, reusing every off-path intermediate program: ~log₂ *n*
+  pair merges instead of *n − 1*.
+
+Each patched pair merge can run the static translation validator
+(:mod:`repro.analysis.static.validate`); a refuted certificate — or any
+exception escaping the merge — raises :class:`PatchError`, and the caller
+is expected to fall back to a full re-consolidation, recording the
+fallback.  Unlike the batch driver, a patch never silently degrades to
+the sequential composition: the service wants either a certified patch or
+an honest rebuild.
+
+Pair merges consult the batch driver's fault-injection seam
+(``divide_conquer.FAULT_HOOK``, site ``consolidate.pair``) so the
+existing fault battery exercises the fallback ladder.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang.ast import Program
+from ..lang.cost import DEFAULT_COST_MODEL, CostModel
+from ..lang.functions import FunctionTable
+from ..provenance.recorder import DerivationRecorder
+from ..smt.solver import Solver
+from ..telemetry import NULL_TELEMETRY
+from .algorithm import ConsolidationOptions, Consolidator
+from . import divide_conquer
+from .divide_conquer import ConsolidationReport, MergeNode, consolidate_all
+
+__all__ = [
+    "PatchError",
+    "PatchResult",
+    "merge_pair",
+    "add_query",
+    "remove_query",
+    "rebuild",
+]
+
+
+class PatchError(Exception):
+    """A tree patch could not be completed (or certified) safely.
+
+    Raised when a patched pair merge throws, or when the static validator
+    refutes its certificate.  Callers fall back to a full
+    re-consolidation; the message becomes the recorded fallback reason.
+    """
+
+
+@dataclass
+class PatchResult:
+    """What one incremental tree mutation did.
+
+    ``pair_merges`` counts the pair consolidations the patch actually ran
+    (the quantity a full re-consolidation would have spent *n − 1* on);
+    ``derivations`` holds one provenance tree per merge when recording was
+    requested, so the claim is auditable from provenance records alone.
+    ``tree`` is ``None`` only when the last query was removed.
+    """
+
+    tree: Optional[MergeNode]
+    action: str  # "add" | "remove" | "rebuild"
+    pair_merges: int = 0
+    seconds: float = 0.0
+    validations: list = field(default_factory=list)
+    derivations: list = field(default_factory=list)
+    patched_pids: list[str] = field(default_factory=list)
+    fallback: Optional[str] = None
+
+    @property
+    def program(self) -> Optional[Program]:
+        return self.tree.program if self.tree is not None else None
+
+
+def merge_pair(
+    a: Program,
+    b: Program,
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    options: ConsolidationOptions | None = None,
+    solver: Solver | None = None,
+    recorder: DerivationRecorder | None = None,
+    telemetry=NULL_TELEMETRY,
+) -> tuple[Program, object, object]:
+    """Consolidate one pair; returns (merged, validation, derivation).
+
+    Unlike the batch driver's per-pair wrapper this *raises* on failure —
+    patching callers must fall back to a full rebuild, not quietly keep
+    the pair sequential.
+    """
+
+    if divide_conquer.FAULT_HOOK is not None:
+        divide_conquer.FAULT_HOOK("consolidate.pair", (a, b))
+    worker = Consolidator(
+        functions,
+        cost_model,
+        options or ConsolidationOptions(),
+        solver or Solver(telemetry=telemetry),
+        recorder=recorder,
+    )
+    with telemetry.span("consolidate.pair", left=a.pid, right=b.pid, patch=True):
+        merged = worker.consolidate(a, b)
+    return merged, worker.last_validation, worker.last_derivation
+
+
+def _patch_merge(
+    a: Program,
+    b: Program,
+    functions: FunctionTable,
+    cost_model: CostModel,
+    options: ConsolidationOptions,
+    result: PatchResult,
+    solver: Solver,
+    record: bool,
+    telemetry,
+) -> Program:
+    """One certified pair merge inside a patch, folded into ``result``."""
+
+    recorder = DerivationRecorder() if record else None
+    try:
+        merged, validation, derivation = merge_pair(
+            a, b, functions, cost_model, options, solver, recorder, telemetry
+        )
+    except Exception as exc:  # noqa: BLE001 - surfaced as a typed patch failure
+        raise PatchError(f"pair merge {a.pid} ⊕ {b.pid} failed: "
+                         f"{type(exc).__name__}: {exc}") from exc
+    result.pair_merges += 1
+    if validation is not None:
+        result.validations.append(validation)
+        if not validation.certified:
+            raise PatchError(
+                f"pair merge {a.pid} ⊕ {b.pid} refuted by the static validator"
+            )
+    if derivation is not None:
+        result.derivations.append(derivation)
+    result.patched_pids.append(merged.pid)
+    return merged
+
+
+def add_query(
+    tree: Optional[MergeNode],
+    program: Program,
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    options: ConsolidationOptions | None = None,
+    *,
+    static_validate: bool = True,
+    record: bool = True,
+    telemetry=NULL_TELEMETRY,
+) -> PatchResult:
+    """Graft one new query onto the merge tree with a single pair merge.
+
+    The old tree becomes the left child of a fresh root — every existing
+    intermediate program is reused untouched.  Raises :class:`PatchError`
+    when the merge fails or its validation is refuted; the caller should
+    then fall back to :func:`rebuild`.
+    """
+
+    started = time.perf_counter()
+    result = PatchResult(tree=tree, action="add")
+    leaf = MergeNode(program)
+    if tree is None:
+        result.tree = leaf
+        result.seconds = time.perf_counter() - started
+        return result
+    options = _options_with_validation(options, static_validate)
+    solver = Solver(telemetry=telemetry)
+    merged = _patch_merge(
+        tree.program,
+        program,
+        functions,
+        cost_model,
+        options,
+        result,
+        solver,
+        record,
+        telemetry,
+    )
+    result.tree = MergeNode(merged, tree, leaf)
+    result.seconds = time.perf_counter() - started
+    return result
+
+
+def remove_query(
+    tree: MergeNode,
+    pid: str,
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    options: ConsolidationOptions | None = None,
+    *,
+    static_validate: bool = True,
+    record: bool = True,
+    telemetry=NULL_TELEMETRY,
+) -> PatchResult:
+    """Unlink the leaf for ``pid`` and re-merge only its root path.
+
+    The leaf's parent collapses into the sibling subtree; each ancestor
+    above it is re-consolidated from its (one new, one untouched)
+    children, bottom-up.  Raises :class:`ValueError` when ``pid`` is not a
+    leaf of ``tree`` and :class:`PatchError` when a path merge fails.
+    """
+
+    started = time.perf_counter()
+    path = _path_to_leaf(tree, pid)
+    if path is None:
+        raise ValueError(f"query {pid!r} is not a leaf of the merge tree")
+    result = PatchResult(tree=tree, action="remove")
+    if len(path) == 1:
+        # The tree was a single leaf; removing it empties the registry.
+        result.tree = None
+        result.seconds = time.perf_counter() - started
+        return result
+
+    options = _options_with_validation(options, static_validate)
+    solver = Solver(telemetry=telemetry)
+    parent = path[-2]
+    sibling = parent.right if parent.left is path[-1] else parent.left
+    # ``sibling`` takes the parent's place; every ancestor above is then
+    # re-merged bottom-up with its untouched child.
+    result.tree = _rebuild_path(
+        path, sibling, functions, cost_model, options, result, solver, record, telemetry
+    )
+    result.seconds = time.perf_counter() - started
+    return result
+
+
+def _rebuild_path(
+    path: list[MergeNode],
+    replacement: Optional[MergeNode],
+    functions: FunctionTable,
+    cost_model: CostModel,
+    options: ConsolidationOptions,
+    result: PatchResult,
+    solver: Solver,
+    record: bool,
+    telemetry,
+) -> MergeNode:
+    """Rebuild the ancestors of ``path[-1]`` with ``replacement`` spliced in.
+
+    ``path`` runs root → … → parent → leaf.  ``replacement`` takes the
+    *parent*'s place (the sibling subtree after a removal); every ancestor
+    above is re-merged from its surviving child and the patched subtree.
+    """
+
+    patched = replacement
+    swapped = path[-2]  # the node ``patched`` currently stands in for
+    for ancestor in reversed(path[:-2]):
+        other = ancestor.right if ancestor.left is swapped else ancestor.left
+        left, right = (
+            (patched, other) if ancestor.left is swapped else (other, patched)
+        )
+        merged = _patch_merge(
+            left.program,
+            right.program,
+            functions,
+            cost_model,
+            options,
+            result,
+            solver,
+            record,
+            telemetry,
+        )
+        patched = MergeNode(merged, left, right)
+        swapped = ancestor
+    return patched
+
+
+def rebuild(
+    programs: list[Program],
+    functions: FunctionTable,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    options: ConsolidationOptions | None = None,
+    *,
+    config=None,
+    provenance: bool = True,
+    telemetry=None,
+) -> tuple[MergeNode, ConsolidationReport]:
+    """Full re-consolidation, keeping the tree for future patches."""
+
+    report = consolidate_all(
+        programs,
+        functions,
+        cost_model,
+        options,
+        config=config,
+        provenance=provenance,
+        telemetry=telemetry,
+        keep_tree=True,
+    )
+    return report.merge_tree, report
+
+
+def _options_with_validation(
+    options: ConsolidationOptions | None, static_validate: bool
+) -> ConsolidationOptions:
+    options = options or ConsolidationOptions()
+    if static_validate and not options.static_validate:
+        from dataclasses import replace
+
+        options = replace(options, static_validate=True)
+    return options
+
+
+def _path_to_leaf(tree: MergeNode, pid: str) -> Optional[list[MergeNode]]:
+    """Root-to-leaf node path for the leaf whose program is ``pid``."""
+
+    if tree.is_leaf:
+        return [tree] if tree.program.pid == pid else None
+    for child in (tree.left, tree.right):
+        if child is None:
+            continue
+        sub = _path_to_leaf(child, pid)
+        if sub is not None:
+            return [tree] + sub
+    return None

@@ -179,6 +179,13 @@ class _Parser:
 
     def _atom(self) -> Expr:
         tok = self.peek()
+        if tok.text == "-" and tok.kind == "op":
+            # Unary minus: the printer emits negative IntConst as "(-120)".
+            self.next()
+            inner = self._atom()
+            if isinstance(inner, IntConst):
+                return IntConst(-inner.value)
+            return BinOp("-", IntConst(0), inner)
         if tok.kind == "int":
             self.next()
             return IntConst(int(tok.text))

@@ -41,6 +41,7 @@ from .recorder import (
     Heuristic,
     Rewrite,
     RuleNode,
+    derivation_summary,
 )
 from .render import format_expr, format_formula
 
@@ -52,6 +53,7 @@ __all__ = [
     "Rewrite",
     "Heuristic",
     "NULL_RECORDER",
+    "derivation_summary",
     "format_formula",
     "format_expr",
     "OperatorAttribution",

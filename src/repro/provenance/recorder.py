@@ -41,6 +41,7 @@ __all__ = [
     "DerivationRecorder",
     "NullRecorder",
     "NULL_RECORDER",
+    "derivation_summary",
 ]
 
 
@@ -200,6 +201,33 @@ class DerivationTree:
         if not include_timings:
             doc = _strip_timings(doc)
         return doc
+
+
+def derivation_summary(trees) -> dict:
+    """Aggregate a batch of :class:`DerivationTree` into one JSON doc.
+
+    The service's ``/v1/explain`` (and the equivalence suite) want a
+    compact account of a patch — how many pair merges, which calculus
+    rules fired, how much solver time — without shipping whole trees.
+    """
+
+    trees = list(trees)
+    rules: dict[str, int] = {}
+    entailments = rewrites = 0
+    smt_seconds = 0.0
+    for tree in trees:
+        for rule, count in tree.rule_counts().items():
+            rules[rule] = rules.get(rule, 0) + count
+        entailments += len(tree.entailments())
+        rewrites += len(tree.rewrites())
+        smt_seconds += tree.smt_seconds()
+    return {
+        "pairs": len(trees),
+        "rules": dict(sorted(rules.items())),
+        "entailments": entailments,
+        "rewrites": rewrites,
+        "smt_seconds": round(smt_seconds, 6),
+    }
 
 
 def _strip_timings(doc):

@@ -1,0 +1,148 @@
+"""The admission pipeline: every query earns its way into the registry.
+
+A tenant submits a query as one of
+
+* a :class:`~repro.lang.ast.Program` (in-process callers),
+* concrete Figure-1 syntax (``program q1(row) { … }``), or
+* restricted-Python source (``def notify(row): …``), translated by the
+  existing frontend.
+
+Admission then runs, in order: parsing/translation, the frontend type
+checker (:func:`repro.lang.visitors.check_program`) and the full static
+linter (:mod:`repro.analysis.static.lint`).  Any *error*-severity finding
+rejects the query with an :class:`~repro.service.errors.AdmissionError`
+whose ``diagnostics`` is the same SARIF 2.1.0 document ``repro lint
+--format sarif`` emits — one vocabulary for offline linting and online
+rejection.  Warnings are admitted (the registry's policy knob
+``ServiceConfig.admit_warnings`` can tighten this) but always travel on
+the decision so callers can log them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..analysis.static import Finding, LintReport, lint_program, to_sarif
+from ..frontend import TranslationError, translate_source
+from ..lang.ast import Program
+from ..lang.functions import FunctionTable
+from ..lang.parser import ParseError, parse_program
+from ..lang.visitors import TypeError_, check_program
+from .errors import AdmissionError
+
+__all__ = ["AdmissionDecision", "admit"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The admitted program plus everything the pipeline found."""
+
+    program: Program
+    findings: tuple[Finding, ...] = ()
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "warning")
+
+    def diagnostics(self) -> dict:
+        """The findings as a SARIF 2.1.0 document (a plain dict)."""
+
+        return _sarif(self.program.pid, self.findings)
+
+
+def _sarif(pid: str, findings) -> dict:
+    report = LintReport(program=pid, findings=tuple(findings))
+    return json.loads(json.dumps(to_sarif([report])))
+
+
+def _reject(pid: str, findings) -> AdmissionError:
+    errors = [f for f in findings if f.severity == "error"]
+    summary = "; ".join(f"{f.rule}: {f.message}" for f in errors[:3])
+    if len(errors) > 3:
+        summary += f" (+{len(errors) - 3} more)"
+    return AdmissionError(
+        f"query {pid!r} rejected by admission: {summary}",
+        diagnostics=_sarif(pid, findings),
+    )
+
+
+def _parse(source: str, functions: FunctionTable, pid: str | None) -> Program:
+    """Concrete Figure-1 syntax or restricted Python, by inspection."""
+
+    text = source.lstrip()
+    if text.startswith("def "):
+        try:
+            return translate_source(source, pid or "q", functions=functions)
+        except (TranslationError, SyntaxError) as exc:
+            raise AdmissionError(
+                f"query {pid or 'q'!r} rejected by admission: "
+                f"translation failed: {exc}",
+                diagnostics=_sarif(
+                    pid or "q",
+                    [
+                        Finding(
+                            rule="translation-error",
+                            severity="error",
+                            message=str(exc),
+                            program=pid or "q",
+                        )
+                    ],
+                ),
+            ) from exc
+    try:
+        return parse_program(source)
+    except ParseError as exc:
+        raise AdmissionError(
+            f"query {pid or '?'!r} rejected by admission: parse error: {exc}",
+            diagnostics=_sarif(
+                pid or "?",
+                [
+                    Finding(
+                        rule="parse-error",
+                        severity="error",
+                        message=str(exc),
+                        program=pid or "?",
+                    )
+                ],
+            ),
+        ) from exc
+
+
+def admit(
+    query: Program | str,
+    functions: FunctionTable,
+    *,
+    pid: str | None = None,
+    admit_warnings: bool = True,
+) -> AdmissionDecision:
+    """Validate one submitted query; raises :class:`AdmissionError`.
+
+    Returns the parsed/translated program together with every lint
+    finding.  ``admit_warnings=False`` hardens the policy: a warning then
+    rejects just like an error.
+    """
+
+    program = query if isinstance(query, Program) else _parse(query, functions, pid)
+
+    findings: list[Finding] = []
+    try:
+        check_program(program, functions)
+    except TypeError_ as exc:
+        findings.append(
+            Finding(
+                rule="type-error",
+                severity="error",
+                message=str(exc),
+                program=program.pid,
+            )
+        )
+    report = lint_program(program, functions)
+    findings.extend(report.findings)
+
+    rejects = [f for f in findings if f.severity == "error"]
+    if not admit_warnings:
+        rejects += [f for f in findings if f.severity == "warning"]
+    if rejects:
+        raise _reject(program.pid, findings)
+    return AdmissionDecision(program=program, findings=tuple(findings))

@@ -1,0 +1,218 @@
+"""A typed stdlib client for the consolidation service.
+
+:class:`Client` wraps :mod:`http.client` (no third-party dependencies)
+and speaks the JSON protocol of :mod:`repro.service.server`.  Two
+promises make it feel like the in-process facade:
+
+* every response is a frozen result dataclass, not a raw dict;
+* every error response is rebuilt into the *same* exception type the
+  offline :mod:`repro.api` facade raises — an
+  :class:`~repro.service.errors.AdmissionError` from ``client.register``
+  carries the same SARIF ``diagnostics`` whether the linter ran in your
+  process or on the server.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from typing import Any, Optional
+from urllib.parse import quote
+
+from .errors import ServiceError, error_for
+
+__all__ = [
+    "Client",
+    "HealthInfo",
+    "PlanInfo",
+    "PatchInfo",
+    "QueryInfo",
+    "RegisterResult",
+    "RunInfo",
+    "UnregisterResult",
+]
+
+
+@dataclass(frozen=True)
+class QueryInfo:
+    """One registered query as the server reports it."""
+
+    pid: str
+    tenant: str
+    fingerprint: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class PlanInfo:
+    """The consolidated plan: fingerprint, membership, shape, text."""
+
+    fingerprint: str
+    pids: tuple[str, ...]
+    queries: int
+    depth: int
+    program: str
+
+
+@dataclass(frozen=True)
+class PatchInfo:
+    """How the plan absorbed the last mutation."""
+
+    action: str
+    pair_merges: int
+    fallback: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RegisterResult:
+    query: QueryInfo
+    plan: Optional[PlanInfo]
+    patch: Optional[PatchInfo]
+
+
+@dataclass(frozen=True)
+class UnregisterResult:
+    removed: str
+    plan: Optional[PlanInfo]
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One consolidated execution: notification buckets plus costs."""
+
+    buckets: dict[str, list[Any]]
+    udf_cost: int
+    io_cost: int
+    overhead_cost: int
+    total_cost: int
+
+
+@dataclass(frozen=True)
+class HealthInfo:
+    status: str
+    queries: int
+
+
+def _plan(doc: Optional[dict]) -> Optional[PlanInfo]:
+    if doc is None:
+        return None
+    return PlanInfo(
+        fingerprint=doc["fingerprint"],
+        pids=tuple(doc["pids"]),
+        queries=doc["queries"],
+        depth=doc["depth"],
+        program=doc["program"],
+    )
+
+
+def _patch(doc: Optional[dict]) -> Optional[PatchInfo]:
+    if doc is None:
+        return None
+    return PatchInfo(
+        action=doc["action"],
+        pair_merges=doc["pair_merges"],
+        fallback=doc.get("fallback"),
+    )
+
+
+def _query(doc: dict) -> QueryInfo:
+    return QueryInfo(
+        pid=doc["pid"],
+        tenant=doc["tenant"],
+        fingerprint=doc["fingerprint"],
+        seq=doc["seq"],
+    )
+
+
+class Client:
+    """Talk to one ``repro serve`` instance.
+
+    >>> client = Client("127.0.0.1", 8765)
+    >>> client.register("program q1(row) { notify q1 (row > 10); }")
+    RegisterResult(query=QueryInfo(pid='q1', …), plan=PlanInfo(…), …)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"{method} {path}: server sent invalid JSON "
+                    f"(status {response.status}): {raw[:200]!r}"
+                ) from exc
+            if response.status >= 400:
+                raise error_for(
+                    doc.get("error", "service"),
+                    doc.get("message", f"{method} {path} failed "
+                                       f"with status {response.status}"),
+                    diagnostics=doc.get("diagnostics"),
+                )
+            return doc
+        finally:
+            conn.close()
+
+    # -- operations --------------------------------------------------------
+
+    def health(self) -> HealthInfo:
+        doc = self._request("GET", "/healthz")
+        return HealthInfo(status=doc["status"], queries=doc["queries"])
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def queries(self) -> list[QueryInfo]:
+        doc = self._request("GET", "/v1/queries")
+        return [_query(q) for q in doc["queries"]]
+
+    def register(self, program: str, tenant: str = "default") -> RegisterResult:
+        """Submit one query (concrete syntax or restricted Python).
+
+        Raises :class:`~repro.service.errors.AdmissionError` (with SARIF
+        diagnostics), :class:`DuplicateQueryError` or
+        :class:`RegistryError` exactly as the offline facade would.
+        """
+
+        doc = self._request(
+            "POST", "/v1/queries", {"program": program, "tenant": tenant}
+        )
+        return RegisterResult(
+            query=_query(doc["query"]),
+            plan=_plan(doc.get("plan")),
+            patch=_patch(doc.get("patch")),
+        )
+
+    def unregister(self, pid: str) -> UnregisterResult:
+        doc = self._request("DELETE", f"/v1/queries/{quote(pid, safe='')}")
+        return UnregisterResult(removed=doc["removed"], plan=_plan(doc.get("plan")))
+
+    def plan(self) -> PlanInfo:
+        return _plan(self._request("GET", "/v1/plan"))  # type: ignore[return-value]
+
+    def run(self, rows: list) -> RunInfo:
+        doc = self._request("POST", "/v1/run", {"rows": rows})
+        metrics = doc["metrics"]
+        return RunInfo(
+            buckets=doc["buckets"],
+            udf_cost=metrics["udf_cost"],
+            io_cost=metrics["io_cost"],
+            overhead_cost=metrics["overhead_cost"],
+            total_cost=metrics["total_cost"],
+        )
+
+    def explain(self) -> dict:
+        return self._request("GET", "/v1/explain")

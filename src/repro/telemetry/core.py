@@ -19,11 +19,45 @@ aggregates everything.
 
 from __future__ import annotations
 
+import time as _time
+
 from .metrics import MetricsRegistry
 from .noop import NullRegistry, NullTracer
 from .spans import Tracer
 
 __all__ = ["Telemetry", "NULL_TELEMETRY"]
+
+
+class _Timer:
+    """Observe a block's wall-clock seconds into one histogram."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = _time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._histogram.observe(_time.perf_counter() - self._started)
+
+
+class _NullTimer:
+    """The disabled timer: enter/exit, nothing else."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
 
 _NULL_TRACER = NullTracer()
 _NULL_REGISTRY = NullRegistry()
@@ -84,6 +118,20 @@ class Telemetry:
         if buckets is None:
             return self.metrics.histogram(name, **labels)
         return self.metrics.histogram(name, buckets=buckets, **labels)
+
+    def time(self, name: str, **labels):
+        """Time a block into the histogram ``name`` (seconds observed).
+
+        >>> with telemetry.time("service_patch_seconds"):
+        ...     patch_the_tree()
+
+        Disabled telemetry times nothing — the context manager is a
+        shared no-op, so the hot path allocates nothing.
+        """
+
+        if not self.enabled:
+            return _NULL_TIMER
+        return _Timer(self.metrics.histogram(name, **labels))
 
     # -- output --------------------------------------------------------------
 

@@ -1,0 +1,158 @@
+"""The stable facade surface, pinned.
+
+``repro.api`` is the contract both the CLI and the service build on;
+these golden tests make any signature change an explicit, reviewed act —
+the diff shows exactly which verb moved.  The deprecation-cycle tests pin
+the *message shape* of every legacy-kwarg warning (it must name the
+replacement ``ExecutionConfig`` field and the scheduled removal version)
+and the config validation errors (they must enumerate the valid values).
+"""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.config import (
+    EXECUTORS,
+    LEGACY_KWARG_REMOVAL,
+    ExecutionConfig,
+    ServiceConfig,
+    resolve_config,
+)
+
+# ---------------------------------------------------------------------------
+# the facade: frozen __all__ and golden signatures
+
+
+GOLDEN_SIGNATURES = {
+    "consolidate": (
+        "(programs: 'Sequence[Program]', functions: 'Optional[FunctionTable]'"
+        " = None, *, options: 'Optional[ConsolidationOptions]' = None, "
+        "config: 'Optional[ExecutionConfig]' = None) -> 'ConsolidationReport'"
+    ),
+    "explain": (
+        "(target: 'Union[QueryRegistry, Sequence[Program]]', functions: "
+        "'Optional[FunctionTable]' = None, *, options: "
+        "'Optional[ConsolidationOptions]' = None, config: "
+        "'Optional[ExecutionConfig]' = None) -> 'dict'"
+    ),
+    "register": (
+        "(registry: 'QueryRegistry', query: 'Union[Program, str]', *, "
+        "tenant: 'str' = 'default') -> 'RegisteredQuery'"
+    ),
+    "run": (
+        "(rows: 'Sequence[Any]', programs: 'Sequence[Program]', functions: "
+        "'Optional[FunctionTable]' = None, *, consolidated: 'bool' = True, "
+        "options: 'Optional[ConsolidationOptions]' = None, config: "
+        "'Optional[ExecutionConfig]' = None) -> 'RunResult'"
+    ),
+    "unregister": "(registry: 'QueryRegistry', pid: 'str') -> 'None'",
+}
+
+
+def test_facade_all_is_frozen_tuple():
+    assert isinstance(api.__all__, tuple)
+    assert api.__all__ == ("consolidate", "explain", "register", "run", "unregister")
+
+
+def test_facade_signatures_are_golden():
+    for name, expected in GOLDEN_SIGNATURES.items():
+        actual = str(inspect.signature(getattr(api, name)))
+        assert actual == expected, f"repro.api.{name} signature drifted:\n{actual}"
+
+
+def test_facade_covers_all_verbs_and_nothing_else():
+    assert set(GOLDEN_SIGNATURES) == set(api.__all__)
+
+
+def test_facade_exported_from_package_root():
+    assert "api" in repro.__all__
+    assert repro.api is api
+
+
+def test_every_facade_verb_has_type_hints():
+    for name in api.__all__:
+        signature = inspect.signature(getattr(api, name))
+        assert signature.return_annotation is not inspect.Signature.empty
+        for parameter in signature.parameters.values():
+            assert parameter.annotation is not inspect.Parameter.empty, (
+                f"repro.api.{name} parameter {parameter.name} lost its hint"
+            )
+
+
+# ---------------------------------------------------------------------------
+# the deprecation cycle: warnings name the field and the removal version
+
+
+def test_legacy_kwarg_warning_names_field_and_removal_version():
+    with pytest.warns(DeprecationWarning) as caught:
+        resolved = resolve_config(None, workers=2)
+    assert resolved.workers == 2
+    message = str(caught[0].message)
+    assert "'workers'" in message
+    assert "ExecutionConfig(workers=2)" in message
+    assert f"removed in repro {LEGACY_KWARG_REMOVAL}" in message
+    assert "config=" in message
+
+
+def test_legacy_kwarg_removal_version_is_pinned():
+    # Finishing the cycle (actually removing the kwargs) must update this
+    # test along with every call site.
+    assert LEGACY_KWARG_REMOVAL == "2.0"
+
+
+def test_each_legacy_kwarg_warns_once_with_its_own_name():
+    with pytest.warns(DeprecationWarning) as caught:
+        resolve_config(None, workers=2, executor="thread")
+    messages = sorted(str(w.message) for w in caught)
+    assert len(messages) == 2
+    assert any("'executor'" in m and "executor='thread'" in m for m in messages)
+    assert any("'workers'" in m for m in messages)
+
+
+def test_resolve_config_without_legacy_kwargs_is_silent(recwarn):
+    resolved = resolve_config(ExecutionConfig(workers=3))
+    assert resolved.workers == 3
+    assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+
+# ---------------------------------------------------------------------------
+# config validation errors enumerate the valid values
+
+
+def test_execution_config_backend_error_enumerates_choices():
+    with pytest.raises(ValueError, match="choose from"):
+        ExecutionConfig(backend="gpu")
+
+
+def test_execution_config_executor_error_enumerates_choices():
+    with pytest.raises(ValueError) as excinfo:
+        ExecutionConfig(executor="fibers")
+    for executor in EXECUTORS:
+        assert executor in str(excinfo.value)
+
+
+def test_execution_config_worker_errors_state_the_valid_range():
+    with pytest.raises(ValueError, match=r"workers must be an integer >= 1, got 0"):
+        ExecutionConfig(workers=0)
+    with pytest.raises(ValueError, match=r"max_workers must be an integer >= 1"):
+        ExecutionConfig(max_workers=-2)
+
+
+def test_service_config_validation_errors_enumerate_values():
+    with pytest.raises(ValueError, match=r"0\.\.65535"):
+        ServiceConfig(port=70000)
+    with pytest.raises(ValueError, match=r">= 1\.0"):
+        ServiceConfig(rebalance_factor=0.5)
+    with pytest.raises(ValueError, match=r">= 0 \(0 disables"):
+        ServiceConfig(plan_cache_size=-1)
+
+
+def test_service_config_is_frozen_and_evolvable():
+    config = ServiceConfig()
+    with pytest.raises(Exception):
+        config.port = 1234  # type: ignore[misc]
+    assert config.evolve(port=0).port == 0
+    assert config.port == 8765

@@ -63,6 +63,14 @@ class TestExprParsing:
     def test_string_escapes(self):
         assert parse_expr('"a\\"b"') == StrConst('a"b')
 
+    def test_unary_minus(self):
+        # The printer emits negative IntConst as "(-120)"; the parser must
+        # round-trip it, and a bare "-x" folds to 0 - x.
+        assert parse_expr("(-120)") == IntConst(-120)
+        assert parse_expr("-5 + x") == BinOp("+", IntConst(-5), Var("x"))
+        assert parse_expr("-x") == BinOp("-", IntConst(0), Var("x"))
+        assert parse_expr(expr_to_str(IntConst(-120))) == IntConst(-120)
+
     def test_c_style_connectives(self):
         assert parse_expr("true && false") == BoolOp("and", BoolConst(True), BoolConst(False))
         assert parse_expr("true || false") == BoolOp("or", BoolConst(True), BoolConst(False))
@@ -110,7 +118,7 @@ _arg_names = st.sampled_from(["row", "fi"])
 
 def _int_exprs(depth):
     base = st.one_of(
-        st.integers(min_value=0, max_value=99).map(IntConst),
+        st.integers(min_value=-99, max_value=99).map(IntConst),
         _names.map(Var),
         _arg_names.map(Arg),
     )

@@ -1,0 +1,285 @@
+"""The service core: fingerprints, admission, plan cache, event log.
+
+Key claims under test:
+
+* canonical fingerprints mod out local names and pids (alpha-equivalent
+  queries share one), but not semantics or cost model;
+* admission rejects with SARIF diagnostics identical in shape to
+  ``repro lint --format sarif``;
+* re-registering an alpha-renamed batch hits the plan cache — *zero* new
+  pair merges, verified by provenance-backed counters;
+* the event log replays to byte-identical plan fingerprints;
+* a spindly tree (adds graft at the root) trips the rebalance policy and
+  the registry performs a recorded full rebuild, never a silent one.
+"""
+
+import pytest
+
+from repro.config import ExecutionConfig, ServiceConfig
+from repro.datasets import generate_weather
+from repro.lang.cost import CostModel
+from repro.lang.parser import parse_program
+from repro.lang.printer import program_to_str
+from repro.queries import DOMAIN_QUERIES
+from repro.service import (
+    AdmissionError,
+    DuplicateQueryError,
+    QueryRegistry,
+    RegistryError,
+    UnknownQueryError,
+    admit,
+    canonicalize,
+    fingerprint,
+    plan_key,
+)
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return generate_weather(cities=20)
+
+
+def weather_batch(dataset, n=4, family="Q1", seed=3):
+    return DOMAIN_QUERIES["weather"].make_batch(dataset, family, n=n, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+
+
+def test_fingerprint_ignores_local_names_and_pid():
+    a = parse_program("program q1(row) { t := @row + 1; notify q1 (t > 10); }")
+    b = parse_program("program zz(row) { speed := @row + 1; notify zz (speed > 10); }")
+    assert fingerprint(a) == fingerprint(b)
+    assert program_to_str(canonicalize(a)) == program_to_str(canonicalize(b))
+
+
+def test_fingerprint_distinguishes_semantics():
+    a = parse_program("program q1(row) { notify q1 (@row > 10); }")
+    b = parse_program("program q1(row) { notify q1 (@row > 11); }")
+    assert fingerprint(a) != fingerprint(b)
+
+
+def test_fingerprint_depends_on_cost_model():
+    a = parse_program("program q1(row) { notify q1 (@row > 10); }")
+    assert fingerprint(a) != fingerprint(a, CostModel(cmp=99))
+
+
+def test_plan_key_is_order_independent():
+    fps = ["aa", "bb", "cc"]
+    assert plan_key(fps) == plan_key(reversed(fps))
+    assert plan_key(fps) != plan_key(fps[:2])
+
+
+# ---------------------------------------------------------------------------
+# admission
+
+
+def test_admission_rejects_parse_error_with_sarif(weather):
+    with pytest.raises(AdmissionError) as excinfo:
+        admit("program broken(row) {", weather.functions)
+    sarif = excinfo.value.diagnostics
+    assert sarif["version"] == "2.1.0"
+    results = sarif["runs"][0]["results"]
+    assert any(r["ruleId"] == "parse-error" for r in results)
+
+
+def test_admission_rejects_lint_error_with_sarif(weather):
+    # `row` without @ is an unassigned local — the linter's use-before-def.
+    with pytest.raises(AdmissionError) as excinfo:
+        admit("program q(row) { notify q (row > 1); }", weather.functions)
+    results = excinfo.value.diagnostics["runs"][0]["results"]
+    assert any(r["ruleId"] == "use-before-def" for r in results)
+
+
+def test_admission_accepts_python_source(weather):
+    decision = admit(
+        "def notify(row):\n    return monthly_avg_temp(row, 3) > 50\n",
+        weather.functions,
+        pid="py1",
+    )
+    assert decision.program.pid == "py1"
+
+
+def test_admission_warning_policy(weather):
+    # A dead store lints as a warning: admitted by default, rejected
+    # under the strict policy.
+    source = "program w(row) { t := @row + 1; notify w (@row > 2); }"
+    decision = admit(source, weather.functions)
+    assert decision.warnings
+    with pytest.raises(AdmissionError):
+        admit(source, weather.functions, admit_warnings=False)
+
+
+# ---------------------------------------------------------------------------
+# registry + plan cache
+
+
+def test_register_patches_incrementally(weather):
+    registry = QueryRegistry(weather.functions)
+    for program in weather_batch(weather):
+        registry.register(program)
+    assert len(registry) == 4
+    # After the second registration every add is exactly one pair merge.
+    assert registry.last_patch.action == "add"
+    assert registry.last_patch.pair_merges == 1
+    assert registry.stats["full_rebuilds"] == 0
+    assert sorted(registry.tree.leaf_pids()) == sorted(registry.pids())
+
+
+def test_duplicate_pid_rejected(weather):
+    registry = QueryRegistry(weather.functions)
+    program = weather_batch(weather, n=1)[0]
+    registry.register(program)
+    with pytest.raises(DuplicateQueryError):
+        registry.register(program)
+    assert len(registry) == 1
+
+
+def test_mismatched_params_rejected(weather):
+    registry = QueryRegistry(weather.functions)
+    registry.register("program a(row) { notify a (@row > 1); }")
+    with pytest.raises(RegistryError, match="consolidates over"):
+        registry.register("program b(x, y) { notify b (@x > @y); }")
+
+
+def test_unregister_unknown_pid(weather):
+    registry = QueryRegistry(weather.functions)
+    with pytest.raises(UnknownQueryError):
+        registry.unregister("ghost")
+
+
+def test_plan_cache_hit_on_alpha_renamed_reregistration(weather):
+    batch = weather_batch(weather)
+    registry = QueryRegistry(weather.functions)
+    for program in batch:
+        registry.register(program)
+    plan_before = registry.plan()
+
+    # Tear the whole registry down and re-register alpha-renamed twins in
+    # a different order: every membership along the way was cached, so no
+    # new pair merge may happen.
+    for program in batch:
+        registry.unregister(program.pid)
+    assert registry.tree is None
+    baseline_merges = registry.stats["pair_merges_total"]
+    renamed = [
+        parse_program(
+            program_to_str(program).replace(program.pid, f"re_{program.pid}")
+        )
+        for program in reversed(batch)
+    ]
+    for program in renamed:
+        registry.register(program)
+
+    assert registry.stats["pair_merges_total"] == baseline_merges
+    assert registry.stats["plan_cache_hits"] > 0
+    plan_after = registry.plan()
+    assert plan_after.fingerprint == plan_before.fingerprint
+    assert sorted(plan_after.pids) == sorted(f"re_{p.pid}" for p in batch)
+    # The relabelled plan actually notifies the new pids.
+    result = registry.run(weather.rows[:30])
+    assert set(result.buckets) <= set(plan_after.pids)
+
+
+def test_plan_cache_capacity_zero_disables(weather):
+    registry = QueryRegistry(
+        weather.functions, service=ServiceConfig(plan_cache_size=0)
+    )
+    program = weather_batch(weather, n=1)[0]
+    registry.register(program)
+    registry.unregister(program.pid)
+    registry.register(program)
+    assert registry.stats["plan_cache_hits"] == 0
+
+
+def test_rebalance_triggers_recorded_rebuild(weather):
+    # factor 1.0 trips as soon as the root-grafted spine exceeds the
+    # balanced depth: the fallback must be recorded, not silent.
+    registry = QueryRegistry(
+        weather.functions, service=ServiceConfig(rebalance_factor=1.0)
+    )
+    for program in weather_batch(weather, n=8, family="Q2"):
+        registry.register(program)
+    assert registry.stats["full_rebuilds"] > 0
+    assert registry.stats["patch_fallbacks"] > 0
+    rebuilt = registry.last_patch
+    assert registry.tree.depth() <= 1.0 * 3 + 1 or rebuilt.fallback
+
+
+def test_explain_shape(weather):
+    registry = QueryRegistry(weather.functions)
+    for program in weather_batch(weather, n=3):
+        registry.register(program)
+    doc = registry.explain()
+    assert doc["queries"] == 3
+    assert doc["tree"] is not None
+    assert doc["last_patch"]["action"] == "add"
+    assert doc["last_patch"]["pair_merges"] == 1
+    assert doc["last_patch"]["derivations"]["pairs"] == 1
+    assert doc["last_patch"]["derivations"]["rules"]
+    assert doc["cache"]["misses"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# event log
+
+
+def test_event_log_replay_restores_identical_fingerprints(tmp_path, weather):
+    log = tmp_path / "events.jsonl"
+    service = ServiceConfig(event_log=str(log))
+    registry = QueryRegistry(weather.functions, service=service)
+    batch = weather_batch(weather, n=5)
+    for program in batch:
+        registry.register(program)
+    registry.unregister(batch[1].pid)
+    plan = registry.plan()
+    entries = {q.pid: q.fingerprint for q in registry.queries()}
+
+    replayed = QueryRegistry(weather.functions, service=service)
+    assert {q.pid: q.fingerprint for q in replayed.queries()} == entries
+    assert replayed.plan().fingerprint == plan.fingerprint
+    assert replayed.plan().pids == plan.pids
+
+
+def test_event_log_survives_multiple_generations(tmp_path, weather):
+    log = tmp_path / "events.jsonl"
+    service = ServiceConfig(event_log=str(log))
+    first = QueryRegistry(weather.functions, service=service)
+    first.register("program g1(row) { notify g1 (@row > 5); }")
+
+    second = QueryRegistry(weather.functions, service=service)
+    second.register("program g2(row) { notify g2 (@row > 50); }")
+
+    third = QueryRegistry(weather.functions, service=service)
+    assert sorted(third.pids()) == ["g1", "g2"]
+    assert third.plan().fingerprint == second.plan().fingerprint
+
+
+def test_admission_failure_leaves_no_state(tmp_path, weather):
+    log = tmp_path / "events.jsonl"
+    registry = QueryRegistry(
+        weather.functions, service=ServiceConfig(event_log=str(log))
+    )
+    with pytest.raises(AdmissionError):
+        registry.register("program bad(row) { notify bad (oops > 1); }")
+    assert len(registry) == 0
+    assert registry.stats["admission_rejects_total"] == 1
+    # Nothing journalled → a replay starts empty.
+    assert len(QueryRegistry(weather.functions, service=ServiceConfig(event_log=str(log)))) == 0
+
+
+def test_telemetry_counters_flow(weather):
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.capture()
+    registry = QueryRegistry(
+        weather.functions, config=ExecutionConfig(telemetry=telemetry)
+    )
+    for program in weather_batch(weather, n=3):
+        registry.register(program)
+    snapshot = telemetry.snapshot()["metrics"]
+    names = {counter["name"] for counter in snapshot["counters"]}
+    assert "service_registered_total" in names
+    assert "service_incremental_patches_total" in names
+    assert "service_pair_merges_total" in names

@@ -1,0 +1,145 @@
+"""End-to-end smoke of the consolidation service across a restart.
+
+What CI's ``service-smoke`` job runs:
+
+1. start ``python -m repro serve`` as a real subprocess on an ephemeral
+   port with an ``--event-log`` journal;
+2. register one query from each of the weather domain's five families
+   (Q1–Q4 and Mix) through the typed HTTP client;
+3. record every query fingerprint and the consolidated plan fingerprint,
+   run the plan once over dataset rows;
+4. kill the server, start a fresh one over the same journal;
+5. assert the replayed registry serves byte-identical query and
+   plan-cache fingerprints and an identical consolidated program.
+
+Exit status 0 only when every assertion holds.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import generate_weather  # noqa: E402
+from repro.lang.printer import program_to_str  # noqa: E402
+from repro.queries import DOMAIN_QUERIES  # noqa: E402
+from repro.service import Client  # noqa: E402
+
+SERVE_PATTERN = re.compile(r"serving on http://[\d.]+:(\d+)")
+
+
+def start_server(event_log: str) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro serve`` on an ephemeral port; return (proc, port)."""
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--domain",
+            "weather",
+            "--port",
+            "0",
+            "--event-log",
+            event_log,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"serve exited early with status {proc.wait()}"
+            )
+        match = SERVE_PATTERN.search(line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise SystemExit("serve did not print its port within 60s")
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    proc.terminate()
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+def main() -> int:
+    dataset = generate_weather(cities=20)
+    module = DOMAIN_QUERIES["weather"]
+    sources = {}
+    for index, family in enumerate(module.FAMILY_NAMES):
+        program = module.make_batch(dataset, family, n=index + 1, seed=4)[index]
+        sources[program.pid] = program_to_str(program)
+    print(f"registering {len(sources)} queries, one per family: "
+          f"{', '.join(module.FAMILY_NAMES)}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        event_log = os.path.join(tmp, "events.jsonl")
+
+        proc, port = start_server(event_log)
+        try:
+            client = Client(port=port)
+            fingerprints = {}
+            for pid, source in sources.items():
+                result = client.register(source)
+                fingerprints[pid] = result.query.fingerprint
+                print(f"  registered {pid}: fingerprint {result.query.fingerprint}, "
+                      f"patch {result.patch.action} ({result.patch.pair_merges} merges)")
+            plan = client.plan()
+            print(f"plan {plan.fingerprint}: {plan.queries} queries, depth {plan.depth}")
+            run = client.run(list(dataset.rows[:50]))
+            print(f"run: buckets for {sorted(run.buckets)} (udf cost {run.udf_cost})")
+            assert plan.queries == len(sources)
+        finally:
+            stop_server(proc)
+        print("server killed; restarting over the journal")
+
+        proc, port = start_server(event_log)
+        try:
+            revived = Client(port=port)
+            assert revived.health().queries == len(sources), "membership lost"
+            replayed = {q.pid: q.fingerprint for q in revived.queries()}
+            assert replayed == fingerprints, (
+                f"query fingerprints diverged after replay:\n"
+                f"  before: {fingerprints}\n  after:  {replayed}"
+            )
+            replayed_plan = revived.plan()
+            assert replayed_plan.fingerprint == plan.fingerprint, (
+                f"plan fingerprint diverged: {plan.fingerprint} -> "
+                f"{replayed_plan.fingerprint}"
+            )
+            assert replayed_plan.program == plan.program, "merged program diverged"
+            rerun = revived.run(list(dataset.rows[:50]))
+            assert rerun.buckets == run.buckets, "notification buckets diverged"
+        finally:
+            stop_server(proc)
+
+    print("service smoke OK: restart replay restored identical fingerprints")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
