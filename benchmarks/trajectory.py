@@ -2,7 +2,8 @@
 
 Each invocation runs a small, normalized slice of the core workloads
 (consolidate + execute the Weather Mix family, plus the SMT/simplifier
-counters behind it), appends one schema-versioned row to
+counters behind it, plus a reduced columnar-backend comparison from
+``bench_vectorized``), appends one schema-versioned row to
 ``BENCH_trajectory.json`` at the repository root, and compares the new
 row against the most recent prior row with the same ``schema_version``
 and ``scale``:
@@ -59,6 +60,11 @@ METRIC_SPECS = {
     # the same machine in the same process, so the ratio is far more
     # stable than either wall-clock alone.
     "weather_incremental_ratio": ("lower", 0.50),
+    # Columnar backend: a wall-clock *ratio* (both sides measured
+    # interleaved in-process, so machine speed divides out) and the
+    # deterministic fallback share of a batch with one unbounded UDF.
+    "whereconsolidated_vectorized_speedup": ("higher", 0.50),
+    "vectorized_fallback_rate": ("lower", 0.50),
 }
 
 SCALES = {
@@ -131,6 +137,15 @@ def collect_metrics(scale: str) -> dict:
 
     prefilter = bench_prefilter.measure(cities=50, n_udfs=4)
 
+    # The columnar backend rides along at a reduced scale: the speedup is
+    # an interleaved in-process ratio (stable across machines) and the
+    # fallback rate is exactly deterministic (1 unbounded UDF in 8).
+    import bench_vectorized
+
+    vectorized = bench_vectorized.measure(
+        n_udfs=8, depth=10, rows=3000, repeats=3
+    )
+
     return {
         "weather_udf_speedup": round(
             many.metrics.udf_cost / max(1, cons.metrics.udf_cost), 4
@@ -145,6 +160,10 @@ def collect_metrics(scale: str) -> dict:
         "weather_incremental_ratio": round(
             incremental_seconds / max(consolidation_seconds, 1e-9), 4
         ),
+        "whereconsolidated_vectorized_speedup": vectorized["where_consolidated"][
+            "speedup"
+        ],
+        "vectorized_fallback_rate": vectorized["fallback"]["rate"],
     }
 
 

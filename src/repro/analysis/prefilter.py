@@ -109,6 +109,7 @@ __all__ = [
     "synthesize_prefilter",
     "compile_prefilter",
     "make_guard",
+    "prefilter_program",
 ]
 
 SHAPES = ("straight-line", "branch-free", "bounded-loop", "unbounded")
@@ -673,6 +674,22 @@ class PrefilterGuard:
         return bool(result.notification(PREFILTER_PID)), int(result.cost)
 
 
+def prefilter_program(prefilter: Prefilter, program: Program) -> Program:
+    """Wrap ``phi`` as a one-statement program broadcasting on the
+    reserved :data:`PREFILTER_PID` channel.
+
+    Shared by :func:`compile_prefilter` (per-record guards) and the
+    vectorized Where operators, which run the same wrapper program as a
+    whole-column mask kernel compacting batches before the UDF kernels.
+    """
+
+    return Program(
+        pid=program.pid,
+        params=program.params,
+        body=Notify(PREFILTER_PID, prefilter.phi),
+    )
+
+
 def compile_prefilter(
     prefilter: Prefilter,
     program: Program,
@@ -685,18 +702,13 @@ def compile_prefilter(
 ) -> Optional[PrefilterGuard]:
     """Compile ``phi`` through the normal UDF backend, or None if trivial.
 
-    The filter is wrapped as a one-statement program broadcasting on the
-    reserved :data:`PREFILTER_PID` channel, so it rides the existing
-    compile cache, cost model and backend selection unchanged.
+    The filter rides the existing compile cache, cost model and backend
+    selection unchanged (see :func:`prefilter_program`).
     """
 
     if prefilter.trivial:
         return None
-    wrapper = Program(
-        pid=program.pid,
-        params=program.params,
-        body=Notify(PREFILTER_PID, prefilter.phi),
-    )
+    wrapper = prefilter_program(prefilter, program)
     runner = make_runner(
         wrapper,
         functions,

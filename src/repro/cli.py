@@ -552,7 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         default=DEFAULT_BACKEND,
         help="UDF execution backend (default: %(default)s; 'compiled' falls "
-        "back to the interpreter, with a logged warning, if translation fails)",
+        "back to the interpreter, with a logged warning, if translation "
+        "fails; 'vectorized' executes column batches and degrades to the "
+        "compiled per-row path for programs the shape classifier can't bound)",
     )
     parser.add_argument(
         "--metrics-out",

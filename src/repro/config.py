@@ -72,7 +72,10 @@ class ExecutionConfig:
     """Everything a query run needs beyond the data and the programs.
 
     ``backend``
-        UDF execution backend, ``"compiled"`` (default) or ``"interp"``.
+        UDF execution backend: ``"compiled"`` (default), ``"interp"``, or
+        ``"vectorized"`` — struct-of-arrays column batches executed from
+        the operators' flush path, per-row compiled fallback for programs
+        the shape classifier cannot bound (see :mod:`repro.lang.vectorize`).
     ``workers``
         Data-parallel dataflow shards.
     ``cost_model``

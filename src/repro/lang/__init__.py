@@ -83,6 +83,15 @@ from .interp import (
     run_sequentially,
 )
 from .parser import ParseError, parse_expr, parse_program, parse_stmt
+from .vectorize import (
+    BatchResult,
+    VectorizedProgram,
+    VectorizeError,
+    clear_vectorize_cache,
+    columns_from_records,
+    vectorize_cached,
+    vectorize_program,
+)
 from .printer import expr_to_str, program_to_str, stmt_to_str, to_str
 from .visitors import (
     assigned_vars,

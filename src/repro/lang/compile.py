@@ -106,7 +106,7 @@ logger = logging.getLogger(__name__)
 # None — the production value — costs one attribute read per site.
 FAULT_HOOK = None
 
-BACKENDS = ("interp", "compiled")
+BACKENDS = ("interp", "compiled", "vectorized")
 DEFAULT_BACKEND = "compiled"
 DEFAULT_MAX_STEPS = 2_000_000
 
@@ -687,7 +687,13 @@ def make_runner(
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     live = telemetry is not None and telemetry.enabled
-    if backend == "compiled":
+    if backend in ("compiled", "vectorized"):
+        # The vectorized backend is batch-oriented: its column kernels live
+        # in repro.lang.vectorize and are driven from the dataflow
+        # operators' flush path.  Any caller asking for a *per-record*
+        # runner under backend="vectorized" (prefilter guards, harness
+        # probes, the fallback rung itself) gets the compiled closure —
+        # which is exactly what a one-row batch degrades to anyway.
         try:
             return compile_cached(
                 program,

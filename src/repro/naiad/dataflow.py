@@ -60,12 +60,32 @@ class Vertex:
     cost-model units).  Vertices are wired by :class:`Dataflow`.
     """
 
+    #: True when :meth:`ingest_batch` can replace per-record ``process``
+    #: calls for this vertex (batch-buffering operators flip it on).
+    accepts_batches = False
+
+    #: True when ``process`` is the side-effect-free identity (yields its
+    #: input, charges nothing beyond the push overhead).  Lets the engine
+    #: forward a whole partition *through* this vertex to a downstream
+    #: batch operator without the per-record push loop.
+    passthrough = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.downstream: list["Vertex"] = []
         self.last_cost = 0
 
     def process(self, record: Any, worker: "Worker") -> Iterable[Any]:
+        raise NotImplementedError
+
+    def ingest_batch(self, records: Sequence[Any], worker: "Worker") -> None:
+        """Buffer a whole partition slice at once (batch operators only).
+
+        Only called when :attr:`accepts_batches` is true; must be
+        observably identical to calling :meth:`process` per record for an
+        operator whose ``process`` buffers and yields nothing.
+        """
+
         raise NotImplementedError
 
     def on_flush(self, worker: "Worker") -> None:
@@ -143,9 +163,12 @@ class RunResult:
 class Worker:
     """One data-parallel shard with its own virtual clock."""
 
-    def __init__(self, index: int, run: "_RunState") -> None:
+    def __init__(
+        self, index: int, run: "_RunState", engine: "Dataflow | None" = None
+    ) -> None:
         self.index = index
         self._run = run
+        self._engine = engine
         self.total_clock = 0
         self.udf_clock = 0
 
@@ -167,6 +190,21 @@ class Worker:
 
         self._run.buckets.setdefault(bucket, []).append(record)
 
+    def emit(self, vertex: Vertex, record: Any) -> None:
+        """Push ``record`` to ``vertex``'s downstream operators.
+
+        Batch-oriented operators (the vectorized backend) buffer their
+        partition during :meth:`Vertex.process` and produce outputs from
+        :meth:`Vertex.on_flush`, after the per-record push loop is over —
+        this is their flush-time stand-in for yielding from ``process``.
+        """
+
+        engine = self._engine
+        if engine is None:
+            raise RuntimeError("worker is not bound to a dataflow engine")
+        for child in vertex.downstream:
+            engine._push(child, record, self)
+
 
 class _TracedWorker(Worker):
     """A worker that additionally attributes UDF cost and notifications to
@@ -174,9 +212,16 @@ class _TracedWorker(Worker):
     the traced push loop).  Kept out of :class:`Worker` so the fast path
     pays nothing for the attribution hooks."""
 
-    def __init__(self, index: int, run: "_RunState") -> None:
-        super().__init__(index, run)
+    def __init__(
+        self,
+        index: int,
+        run: "_RunState",
+        engine: "Dataflow | None" = None,
+        op_stats: "dict[str, OperatorStats] | None" = None,
+    ) -> None:
+        super().__init__(index, run, engine)
         self._op: OperatorStats | None = None
+        self._op_stats = op_stats
 
     def charge_udf(self, units: int) -> None:
         super().charge_udf(units)
@@ -187,6 +232,18 @@ class _TracedWorker(Worker):
         super().notify(bucket, record)
         if self._op is not None:
             self._op.notifications += 1
+
+    def emit(self, vertex: Vertex, record: Any) -> None:
+        engine, op_stats = self._engine, self._op_stats
+        if engine is None or op_stats is None:
+            raise RuntimeError("worker is not bound to a dataflow engine")
+        op_stats[vertex.name].records_out += 1
+        # The traced push loop clobbers ``_op``; flush-time emission happens
+        # while the emitting vertex's stats are installed, so restore them.
+        saved = self._op
+        for child in vertex.downstream:
+            engine._push_traced(child, record, self, op_stats)
+        self._op = saved
 
 
 class _RunState:
@@ -225,6 +282,8 @@ class Dataflow:
     # -- execution ----------------------------------------------------------------
 
     def _partition(self, records: Sequence[Any], workers: int) -> list[list[Any]]:
+        if workers == 1:
+            return [list(records)]
         parts: list[list[Any]] = [[] for _ in range(workers)]
         for i, r in enumerate(records):
             parts[i % workers].append(r)
@@ -251,13 +310,37 @@ class Dataflow:
 
         state = _RunState()
         start = perf_counter()
+        roots = self._roots
+        push = self._push
+        # A single batch-buffering root (the vectorized operators) takes
+        # its partition in one call: same IO/overhead charges, no
+        # per-record push loop.  Identity pass-through roots (the linq
+        # source vertex) are walked over — each hop is one more overhead
+        # charge per record, exactly what the push loop would have billed.
+        batch_root = None
+        batch_hops = 1
+        if len(roots) == 1:
+            node = roots[0]
+            while node.passthrough and len(node.downstream) == 1:
+                node = node.downstream[0]
+                batch_hops += 1
+            if node.accepts_batches:
+                batch_root = node
         for index, part in enumerate(self._partition(records, workers)):
-            worker = Worker(index, state)
-            for record in part:
-                state.metrics.records += 1
-                worker.charge_io(self.io_cost_per_record)
-                for root in self._roots:
-                    self._push(root, record, worker)
+            worker = Worker(index, state, self)
+            # IO charges and the record count are per-partition sums; batch
+            # them so the per-record loop only pays for operator pushes.
+            state.metrics.records += len(part)
+            worker.charge_io(self.io_cost_per_record * len(part))
+            if batch_root is not None:
+                worker.charge_overhead(
+                    self.overhead_per_operator * len(part) * batch_hops
+                )
+                batch_root.ingest_batch(part, worker)
+            else:
+                for record in part:
+                    for root in roots:
+                        push(root, record, worker)
             for vertex in self._vertices:
                 vertex.on_flush(worker)
             state.metrics.per_worker_total.append(worker.total_clock)
@@ -266,7 +349,10 @@ class Dataflow:
         return RunResult(metrics=state.metrics, buckets=state.buckets)
 
     def _push(self, vertex: Vertex, record: Any, worker: Worker) -> None:
-        worker.charge_overhead(self.overhead_per_operator)
+        # charge_overhead, inlined: this is the hottest call in a run.
+        overhead = self.overhead_per_operator
+        worker.total_clock += overhead
+        worker._run.metrics.overhead_cost += overhead
         for output in vertex.process(record, worker):
             for child in vertex.downstream:
                 self._push(child, output, worker)
@@ -281,7 +367,7 @@ class Dataflow:
         with telemetry.span("dataflow.run", workers=workers, records=len(records)) as span:
             start = perf_counter()
             for index, part in enumerate(self._partition(records, workers)):
-                worker = _TracedWorker(index, state)
+                worker = _TracedWorker(index, state, self, op_stats)
                 for record in part:
                     state.metrics.records += 1
                     worker.charge_io(self.io_cost_per_record)

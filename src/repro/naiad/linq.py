@@ -165,6 +165,8 @@ def from_collection(
     dataflow = Dataflow(cfg.io_cost_per_record, cfg.overhead_per_operator)
 
     class _Source(Vertex):
+        passthrough = True  # identity: the engine may forward batches past it
+
         def process(self, record: Any, worker) -> Any:  # noqa: ANN001
             yield record
 

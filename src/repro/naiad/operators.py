@@ -29,12 +29,14 @@ gauge when telemetry is enabled.
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from ..lang.ast import Program
 from ..lang.compile import DEFAULT_BACKEND, make_runner
 from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..lang.functions import FunctionTable
+from ..lang.vectorize import columns_from_records, vectorize_cached
 from .dataflow import Vertex, Worker
 
 __all__ = [
@@ -106,7 +108,148 @@ class _PrefilterMixin:
         self._pre_rejected = 0
 
 
-class Where(_PrefilterMixin, Vertex):
+class _VectorMixin(_PrefilterMixin):
+    """Batch buffering + flush-time kernel execution for the Where operators.
+
+    Under ``backend="vectorized"`` the operator buffers its worker's
+    partition during :meth:`process` and executes it as one struct-of-
+    arrays batch from :meth:`on_flush` — which the engine runs *before*
+    capturing per-worker clocks, so batch-time charges land in exactly the
+    per-worker totals row-at-a-time execution produces.  IO and operator
+    overhead are still charged per record by the engine's push loop, so
+    only UDF evaluation changes execution strategy.
+    """
+
+    _pending: "dict[int, list] | None" = None
+
+    @property
+    def accepts_batches(self) -> bool:
+        return self._vectorized
+
+    def ingest_batch(self, records: Sequence[Any], worker: Worker) -> None:
+        pending = self._pending
+        if pending is None:
+            pending = self._pending = {}
+        bucket = pending.get(worker.index)
+        if bucket is None:
+            pending[worker.index] = list(records)
+        else:
+            bucket.extend(records)
+
+    def _buffer(self, record: Any, worker: Worker) -> None:
+        pending = self._pending
+        if pending is None:
+            pending = self._pending = {}
+        pending.setdefault(worker.index, []).append(record)
+
+    def _drain(self, worker: Worker) -> list:
+        pending = self._pending
+        if not pending:
+            return []
+        return pending.pop(worker.index, [])
+
+    @staticmethod
+    def _vector_guard(guard, program, functions, cost_model, telemetry):
+        """The column-mask form of a prefilter guard (None = use per-row)."""
+
+        if guard is None:
+            return None
+        try:
+            from ..analysis.prefilter import prefilter_program
+
+            wrapper = prefilter_program(guard.prefilter, program)
+            vg = vectorize_cached(
+                wrapper, functions, cost_model, telemetry=telemetry
+            )
+            return vg if vg.vectorized else None
+        except Exception:  # noqa: BLE001 - the per-row guard still applies
+            return None
+
+    def _apply_guard(self, vguard, guard, program, records, worker) -> list:
+        """φ as a batch-compacting mask, with the row guard's exact books.
+
+        The vectorized φ wrapper runs over the whole batch; any problem
+        (kernel degrade *and* fallback error alike) re-runs the guard
+        per row through :class:`PrefilterGuard`, whose fail-open contract
+        then applies record by record.  Checked/rejected counts and the
+        charged guard cost are identical to row-at-a-time execution.
+        """
+
+        if guard is None:
+            return records
+        from ..analysis.prefilter import PREFILTER_PID
+
+        verdicts = None
+        if vguard is not None:
+            try:
+                batch = vguard.run_batch(
+                    columns_from_records(program, records), len(records)
+                )
+                verdicts = []
+                for i in range(len(records)):
+                    try:
+                        verdicts.append(
+                            (bool(batch.notification(PREFILTER_PID, i)), batch.costs[i])
+                        )
+                    except KeyError:
+                        verdicts.append((True, 0))  # fail open, like the row guard
+            except Exception:  # noqa: BLE001 - guard problems fail open per row
+                verdicts = None
+        keep = []
+        if verdicts is None:
+            for record in records:
+                if not self._reject(guard, _bind_args(program, record), worker):
+                    keep.append(record)
+            return keep
+        for record, (passes, cost) in zip(records, verdicts):
+            self._pre_checked += 1
+            worker.charge_udf(cost)
+            if passes:
+                keep.append(record)
+            else:
+                self._pre_rejected += 1
+        return keep
+
+    @staticmethod
+    def _run_batch(vp, program, records, worker):
+        """Execute one batch and charge its exact total UDF cost."""
+
+        if not records:
+            return None
+        batch = vp.run_batch(columns_from_records(program, records), len(records))
+        worker.charge_udf(sum(batch.costs))
+        return batch
+
+    @staticmethod
+    def _notified(batch, pid, records):
+        """The records that broadcast a truthy value on ``pid``.
+
+        One scan of the mask and value columns, with row-mode error
+        parity: ``result.notification(pid)`` raises ``KeyError`` on a
+        record that never notified, so the scan does too — at the same
+        record position the row-at-a-time loop would.  A wholesale-
+        committed pid shares the batch's all-true mask (identity check),
+        where the scan collapses to a C-level compress."""
+
+        mask = batch.present.get(pid)
+        if mask is None:
+            if records:
+                raise KeyError(pid)
+            return ()
+        if mask is batch.full_mask and len(records) == batch.n:
+            return compress(records, batch.values[pid])
+
+        def scan():
+            for record, hit, value in zip(records, mask, batch.values[pid]):
+                if not hit:
+                    raise KeyError(pid)
+                if value:
+                    yield record
+
+        return scan()
+
+
+class Where(_VectorMixin, Vertex):
     """A single-UDF filter: passes records the UDF accepts."""
 
     def __init__(
@@ -136,8 +279,23 @@ class Where(_PrefilterMixin, Vertex):
             memoize_calls=memoize_calls,
             telemetry=telemetry,
         )
+        self._vectorized = backend == "vectorized"
+        if self._vectorized:
+            self._vp = vectorize_cached(
+                program,
+                functions,
+                cost_model,
+                memoize_calls=memoize_calls,
+                telemetry=telemetry,
+            )
+            self._vguard = self._vector_guard(
+                self.guard, program, functions, cost_model, telemetry
+            )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
+        if self._vectorized:
+            self._buffer(record, worker)
+            return
         args = _bind_args(self.program, record)
         if self.guard is not None and self._reject(self.guard, args, worker):
             return
@@ -146,8 +304,21 @@ class Where(_PrefilterMixin, Vertex):
         if result.notification(self.program.pid):
             yield record
 
+    def on_flush(self, worker: Worker) -> None:
+        if self._vectorized:
+            records = self._drain(worker)
+            if records:
+                kept = self._apply_guard(
+                    self._vguard, self.guard, self.program, records, worker
+                )
+                batch = self._run_batch(self._vp, self.program, kept, worker)
+                if batch is not None:
+                    for record in self._notified(batch, self.program.pid, kept):
+                        worker.emit(self, record)
+        super().on_flush(worker)
 
-class WhereMany(_PrefilterMixin, Vertex):
+
+class WhereMany(_VectorMixin, Vertex):
     """The sequential baseline: run every UDF on every record."""
 
     def __init__(
@@ -181,8 +352,31 @@ class WhereMany(_PrefilterMixin, Vertex):
             )
             for p in programs
         ]
+        self._vectorized = backend == "vectorized"
+        if self._vectorized:
+            self._vps = [
+                vectorize_cached(
+                    p,
+                    functions,
+                    cost_model,
+                    memoize_calls=memoize_calls,
+                    telemetry=telemetry,
+                )
+                for p in programs
+            ]
+            self._vguards = (
+                [
+                    self._vector_guard(g, p, functions, cost_model, telemetry)
+                    for g, p in zip(self.guards, self.programs)
+                ]
+                if self.guards is not None
+                else None
+            )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
+        if self._vectorized:
+            self._buffer(record, worker)
+            return ()
         guards = self.guards
         for index, (program, runner) in enumerate(zip(self.programs, self.runners)):
             args = _bind_args(program, record)
@@ -196,8 +390,24 @@ class WhereMany(_PrefilterMixin, Vertex):
                 worker.notify(program.pid, record)
         return ()
 
+    def on_flush(self, worker: Worker) -> None:
+        if self._vectorized:
+            records = self._drain(worker)
+            if records:
+                for index, (program, vp) in enumerate(zip(self.programs, self._vps)):
+                    guard = self.guards[index] if self.guards is not None else None
+                    vguard = self._vguards[index] if self._vguards is not None else None
+                    kept = self._apply_guard(vguard, guard, program, records, worker)
+                    batch = self._run_batch(vp, program, kept, worker)
+                    if batch is None:
+                        continue
+                    pid = program.pid
+                    for record in self._notified(batch, pid, kept):
+                        worker.notify(pid, record)
+        super().on_flush(worker)
 
-class WhereConsolidated(_PrefilterMixin, Vertex):
+
+class WhereConsolidated(_VectorMixin, Vertex):
     """The consolidated operator: one merged UDF, all results broadcast."""
 
     def __init__(
@@ -229,8 +439,23 @@ class WhereConsolidated(_PrefilterMixin, Vertex):
             memoize_calls=memoize_calls,
             telemetry=telemetry,
         )
+        self._vectorized = backend == "vectorized"
+        if self._vectorized:
+            self._vp = vectorize_cached(
+                merged,
+                functions,
+                cost_model,
+                memoize_calls=memoize_calls,
+                telemetry=telemetry,
+            )
+            self._vguard = self._vector_guard(
+                self.guard, merged, functions, cost_model, telemetry
+            )
 
     def process(self, record: Any, worker: Worker) -> Iterable[Any]:
+        if self._vectorized:
+            self._buffer(record, worker)
+            return ()
         args = _bind_args(self.merged, record)
         if self.guard is not None and self._reject(self.guard, args, worker):
             return ()
@@ -240,6 +465,20 @@ class WhereConsolidated(_PrefilterMixin, Vertex):
             if result.notification(pid):
                 worker.notify(pid, record)
         return ()
+
+    def on_flush(self, worker: Worker) -> None:
+        if self._vectorized:
+            records = self._drain(worker)
+            if records:
+                kept = self._apply_guard(
+                    self._vguard, self.guard, self.merged, records, worker
+                )
+                batch = self._run_batch(self._vp, self.merged, kept, worker)
+                if batch is not None:
+                    for pid in self.pids:
+                        for record in self._notified(batch, pid, kept):
+                            worker.notify(pid, record)
+        super().on_flush(worker)
 
 
 class FlatMap(Vertex):

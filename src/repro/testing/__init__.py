@@ -33,6 +33,8 @@ from .faults import (
     miscompile,
     smt_crash,
     smt_unknown,
+    vectorize_crash,
+    vectorize_mismask,
     worker_death,
 )
 from .shrinker import shrink_batch
@@ -56,6 +58,8 @@ __all__ = [
     "miscompile",
     "consolidation_pair_crash",
     "worker_death",
+    "vectorize_crash",
+    "vectorize_mismask",
     "shrink_batch",
     "CorpusCase",
     "corpus_files",

@@ -49,7 +49,8 @@ __all__ = ["CorpusCase", "read_case", "write_case", "replay_case", "corpus_files
 _HEADER_RE = re.compile(r"^#\s*([A-Za-z_]+)\s*:\s*(.*)$")
 
 _FAULTS = ("none", "smt_unknown", "smt_crash", "compile_cache_miss",
-           "compile_fallback", "miscompile", "consolidation_pair_crash")
+           "compile_fallback", "miscompile", "consolidation_pair_crash",
+           "vectorize_crash", "vectorize_mismask")
 
 
 @dataclass
@@ -171,7 +172,10 @@ def replay_case(case: CorpusCase, executors: Sequence[str] = ("serial", "thread"
         # what a fault case asserts is that the *execution* paths still
         # agree — dataflow equality, soundness, backend differential.
         executors = ("serial",)
-        check_validator = case.fault in ("smt_unknown", "compile_cache_miss")
+        check_validator = case.fault in (
+            "smt_unknown", "compile_cache_miss",
+            "vectorize_crash", "vectorize_mismask",
+        )
     with _fault_context(case.fault):
         result = run_battery(
             case.programs,

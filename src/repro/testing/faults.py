@@ -37,6 +37,7 @@ from contextlib import contextmanager
 
 from ..consolidation import divide_conquer as _dc
 from ..lang import compile as _compile
+from ..lang import vectorize as _vectorize
 from ..smt import solver as _solver
 
 __all__ = [
@@ -48,6 +49,8 @@ __all__ = [
     "miscompile",
     "consolidation_pair_crash",
     "worker_death",
+    "vectorize_crash",
+    "vectorize_mismask",
 ]
 
 
@@ -208,3 +211,100 @@ def worker_death(after: int = 0):
 
     with fault_hook(_dc, _after_counter(after, effect)) as hook:
         yield hook
+
+
+@contextmanager
+def vectorize_crash():
+    """Make every kernel translation crash: batches must degrade per-row.
+
+    The vectorized backend's contract is that translation failure is a
+    *recorded degradation*, never an error — every batch runs through the
+    compiled closures instead, producing identical results.
+    """
+
+    def hook(site, payload):
+        if site == "vectorize.translate":
+            raise RuntimeError("injected kernel-translation crash")
+        return None
+
+    _vectorize.clear_vectorize_cache()
+    try:
+        with fault_hook(_vectorize, hook) as h:
+            yield h
+    finally:
+        _vectorize.clear_vectorize_cache()
+
+
+def _negate_kernel(kern):
+    inner = kern.fn
+
+    def flipped(n, *cols):
+        return [not v for v in inner(n, *cols)]
+
+    return _vectorize._Kernel(flipped, kern.srcs, kern.cost)
+
+
+def _negate_straight_kernel(kern, n_notifies):
+    """Flip every notify column of a fused straight-line kernel, leaving
+    the materialised variable columns behind them untouched."""
+
+    inner = kern.fn
+
+    def flipped(n, *cols):
+        res = inner(n, *cols)
+        return tuple(
+            [not v for v in col] if i < n_notifies else col
+            for i, col in enumerate(res)
+        )
+
+    return _vectorize._Kernel(flipped, kern.srcs, kern.cost)
+
+
+def _mismask_first_branch(vectorized):
+    """The default mis-mask: negate the first If's condition column, so
+    every record takes the wrong arm (falling back to flipping the first
+    notify's values on branchless plans)."""
+
+    def walk(ops):
+        for op in ops:
+            if isinstance(op, _vectorize._OpIf):
+                op.kern = _negate_kernel(op.kern)
+                return True
+            if isinstance(op, _vectorize._OpWhile) and walk(op.body_ops):
+                return True
+        for op in ops:
+            if isinstance(op, _vectorize._OpNotify):
+                op.kern = _negate_kernel(op.kern)
+                return True
+            if isinstance(op, _vectorize._OpStraight) and op.notifies:
+                op.kern = _negate_straight_kernel(op.kern, len(op.notifies))
+                return True
+        return False
+
+    if vectorized.plan is not None:
+        walk(vectorized.plan)
+    return vectorized
+
+
+@contextmanager
+def vectorize_mismask(transform=None):
+    """Deliberately mis-mask every vectorized plan (default: wrong If arm).
+
+    Like :func:`miscompile`, this is the harness testing itself: the
+    three-way differential oracle must report ``vectorized`` discrepancies
+    while this fault is active — a silent pass would mean mask bugs in the
+    column kernels could ship undetected.  The cache is cleared on entry
+    *and* exit so a corrupted plan cannot outlive its fault window.
+    """
+
+    transform = transform or _mismask_first_branch
+
+    def hook(site, payload):
+        return transform if site == "vectorize.finish" else None
+
+    _vectorize.clear_vectorize_cache()
+    try:
+        with fault_hook(_vectorize, hook) as h:
+            yield h
+    finally:
+        _vectorize.clear_vectorize_cache()

@@ -22,7 +22,15 @@ is checked:
   counterexample);
 * **prefilter soundness** — every program (and the merged program) gets a
   synthesized reject-early guard; a row the guard rejects must produce no
-  truthy notification when the full UDF runs.
+  truthy notification when the full UDF runs;
+* **interp vs compiled vs vectorized** — the three-way backend oracle:
+  every program (and the merged program) runs as one column batch under
+  the vectorized backend, and per record the notifications, *exact* cost
+  and per-pid latencies must match the interpreter (closing the triangle:
+  interp↔compiled is already checked above); then the whole batch runs
+  through the dataflow engine under ``backend="vectorized"`` and must
+  produce identical notification buckets and *exactly equal* UDF cost to
+  the compiled run, for whereMany and whereConsolidated alike.
 
 Every disagreement comes back as a :class:`Discrepancy`; an empty list is
 the oracle saying "all paths agree on this case".
@@ -54,7 +62,7 @@ __all__ = ["Discrepancy", "BatteryResult", "run_battery"]
 class Discrepancy:
     """One disagreement between two execution paths that must agree."""
 
-    oracle: str  # 'backend' | 'dataflow' | 'executor' | 'soundness' | 'validator' | 'prefilter'
+    oracle: str  # 'backend' | 'dataflow' | 'executor' | 'soundness' | 'validator' | 'prefilter' | 'vectorized'
     detail: str
     args: dict = field(default_factory=dict)
 
@@ -354,6 +362,163 @@ def _check_prefilter(
                 )
 
 
+def _check_vectorized(
+    programs: Sequence[Program],
+    report: ConsolidationReport | None,
+    dataset: Dataset,
+    rows: Sequence[object],
+    inputs: Sequence[Mapping[str, object]],
+    cost_model: CostModel,
+    out: list[Discrepancy],
+) -> None:
+    """Three-way interp vs compiled vs vectorized differential oracle.
+
+    Record level: each program's whole input set runs as *one* column
+    batch; per record the batch must reproduce the interpreter's
+    notifications, exact cost and notification latencies — or, when some
+    record errors, the batch must raise the same error class the
+    interpreter raises first (the per-row fallback replays records in
+    order, so the first erroring record wins on both paths).  A batch
+    that silently *returns* where the interpreter errors is exactly how a
+    mis-masked kernel shows up.  Bucket level: the dataflow engine runs
+    the batch under ``backend="vectorized"`` and must match the compiled
+    run's buckets and exact UDF cost for whereMany and (reusing the
+    already-consolidated merged program) whereConsolidated.
+    """
+
+    from ..lang.vectorize import columns_from_records, vectorize_program
+    from ..naiad.linq import from_collection
+
+    interp = Interpreter(dataset.functions, cost_model)
+    targets = list(programs)
+    if report is not None:
+        targets.append(report.program)
+    for program in targets:
+        wants = []
+        first_err = None
+        for args in inputs:
+            want, want_err = _run_or_error(
+                lambda a, p=program: interp.run(p, a), args
+            )
+            if want_err is not None:
+                first_err = want_err
+                break
+            wants.append(want)
+        vp = vectorize_program(program, dataset.functions, cost_model)
+        try:
+            columns = columns_from_records(
+                program, [args[program.params[0]] for args in inputs]
+            )
+            batch = vp.run_batch(columns, len(inputs))
+            batch_err = None
+        except Exception as exc:  # noqa: BLE001 - the class is the observable
+            batch, batch_err = None, type(exc).__name__
+        if first_err is not None or batch_err is not None:
+            if first_err != batch_err:
+                out.append(
+                    Discrepancy(
+                        "vectorized",
+                        f"{program.pid}: interp error {first_err}, "
+                        f"vectorized batch error {batch_err}",
+                    )
+                )
+            continue
+        for i, want in enumerate(wants):
+            if want.notifications != batch.notifications_at(i):
+                out.append(
+                    Discrepancy(
+                        "vectorized",
+                        f"{program.pid}: notifications differ at record {i}: "
+                        f"interp {want.notifications} vs "
+                        f"vectorized {batch.notifications_at(i)}",
+                        dict(inputs[i]),
+                    )
+                )
+            elif want.cost != batch.costs[i]:
+                out.append(
+                    Discrepancy(
+                        "vectorized",
+                        f"{program.pid}: cost differs at record {i}: "
+                        f"interp {want.cost} vs vectorized {batch.costs[i]}",
+                        dict(inputs[i]),
+                    )
+                )
+            elif want.notification_costs != batch.notification_costs_at(i):
+                out.append(
+                    Discrepancy(
+                        "vectorized",
+                        f"{program.pid}: notification latencies differ at "
+                        f"record {i}: interp {want.notification_costs} vs "
+                        f"vectorized {batch.notification_costs_at(i)}",
+                        dict(inputs[i]),
+                    )
+                )
+    compiled_cfg = ExecutionConfig(cost_model=cost_model, backend="compiled")
+    vector_cfg = ExecutionConfig(cost_model=cost_model, backend="vectorized")
+    try:
+        many_c = run_where_many(rows, programs, dataset.functions, config=compiled_cfg)
+        many_v = run_where_many(rows, programs, dataset.functions, config=vector_cfg)
+    except Exception as exc:  # noqa: BLE001 - a crash in either path is a finding
+        out.append(
+            Discrepancy(
+                "vectorized", f"whereMany run raised {type(exc).__name__}: {exc}"
+            )
+        )
+        return
+    if many_c.buckets != many_v.buckets:
+        out.append(
+            Discrepancy(
+                "vectorized",
+                "whereMany buckets differ between compiled and vectorized",
+            )
+        )
+    elif many_c.metrics.udf_cost != many_v.metrics.udf_cost:
+        out.append(
+            Discrepancy(
+                "vectorized",
+                f"whereMany UDF cost differs: compiled "
+                f"{many_c.metrics.udf_cost} vs vectorized "
+                f"{many_v.metrics.udf_cost}",
+            )
+        )
+    if report is None:
+        return
+    pids = [p.pid for p in programs]
+    results = {}
+    for label, cfg in (("compiled", compiled_cfg), ("vectorized", vector_cfg)):
+        try:
+            results[label] = (
+                from_collection(rows, config=cfg)
+                .where_consolidated(report.program, pids, dataset.functions)
+                .run(cfg)
+            )
+        except Exception as exc:  # noqa: BLE001
+            out.append(
+                Discrepancy(
+                    "vectorized",
+                    f"whereConsolidated[{label}] raised {type(exc).__name__}: {exc}",
+                )
+            )
+            return
+    cons_c, cons_v = results["compiled"], results["vectorized"]
+    if cons_c.buckets != cons_v.buckets:
+        out.append(
+            Discrepancy(
+                "vectorized",
+                "whereConsolidated buckets differ between compiled and vectorized",
+            )
+        )
+    elif cons_c.metrics.udf_cost != cons_v.metrics.udf_cost:
+        out.append(
+            Discrepancy(
+                "vectorized",
+                f"whereConsolidated UDF cost differs: compiled "
+                f"{cons_c.metrics.udf_cost} vs vectorized "
+                f"{cons_v.metrics.udf_cost}",
+            )
+        )
+
+
 def run_battery(
     programs: Sequence[Program],
     dataset: Dataset,
@@ -408,4 +573,7 @@ def run_battery(
     if expired():
         return result
     _check_prefilter(programs, report, dataset, inputs, cost_model, out)
+    if expired():
+        return result
+    _check_vectorized(programs, report, dataset, rows, inputs, cost_model, out)
     return result

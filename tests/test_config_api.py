@@ -172,6 +172,44 @@ class TestExecutors:
         assert _buckets(serial) == _buckets(pooled)
 
 
+class TestExecutorBackendMatrix:
+    """Every executor x backend combination reproduces the serial/compiled run.
+
+    The vectorized backend buffers records per worker and replays them as
+    column batches at flush time, so worker-level accounting (not just the
+    merged buckets) must survive the backend swap under every executor.
+    """
+
+    @pytest.fixture(scope="class")
+    def reference(self, weather, batch):
+        return run_where_consolidated(weather.rows[:40], batch, weather.functions)
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["interp", "compiled", "vectorized"])
+    def test_consolidated_parity(self, weather, batch, reference, executor, backend):
+        baseline, _ = reference
+        cfg = ExecutionConfig(executor=executor, backend=backend, max_workers=2)
+        result, report = run_where_consolidated(
+            weather.rows[:40], batch, weather.functions, config=cfg
+        )
+        assert report.executor == executor
+        assert _buckets(result) == _buckets(baseline)
+        assert result.metrics.udf_cost == baseline.metrics.udf_cost
+        assert result.metrics.per_worker_total == baseline.metrics.per_worker_total
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled", "vectorized"])
+    def test_where_many_parity(self, weather, batch, backend):
+        baseline = run_where_many(weather.rows[:40], batch, weather.functions)
+        result = run_where_many(
+            weather.rows[:40],
+            batch,
+            weather.functions,
+            config=ExecutionConfig(backend=backend, workers=3),
+        )
+        assert _buckets(result) == _buckets(baseline)
+        assert result.metrics.udf_cost == baseline.metrics.udf_cost
+
+
 class TestTelemetryDifferential:
     """Telemetry on vs off: identical outputs, metrics only on the side."""
 

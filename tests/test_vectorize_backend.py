@@ -1,0 +1,273 @@
+"""The columnar batch backend: cost parity, fallbacks, cache, and faults.
+
+The vectorized backend's contract is *bit-identical observability*: for
+any program batch, ``backend="vectorized"`` must produce exactly the
+buckets and exactly the Figure-2 costs of the compiled per-row backend —
+including on merged ``whereConsolidated`` plans, under prefilter guards,
+and after every rung of the fallback ladder.  These tests pin that
+contract per domain family, exercise the recorded (never raised)
+degradations, and hold the fault seams to their documented behaviour:
+a kernel-translation crash degrades invisibly, a mis-masked ``If`` is
+caught by the three-way differential oracle.
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.config import ExecutionConfig
+from repro.lang import parse_program
+from repro.lang.compile import make_runner
+from repro.lang.vectorize import (
+    clear_vectorize_cache,
+    columns_from_records,
+    vectorize_cached,
+    vectorize_program,
+)
+from repro.naiad import from_collection, run_where_consolidated, run_where_many
+from repro.queries import DOMAIN_QUERIES
+from repro.service import QueryRegistry
+from repro.telemetry import Telemetry
+from repro.testing import (
+    case_inputs,
+    generate_case,
+    run_battery,
+    schema_dataset,
+    vectorize_crash,
+    vectorize_mismask,
+)
+
+_MAKERS = {
+    "weather": lambda: ds.generate_weather(cities=15),
+    "flight": lambda: ds.generate_flights(airlines=15),
+    "news": lambda: ds.generate_news(articles=40),
+    "twitter": lambda: ds.generate_twitter(tweets=40),
+    "stock": lambda: ds.generate_stocks(companies=8, total_daily_rows=300),
+}
+
+
+@pytest.fixture(scope="module")
+def domain_datasets():
+    return {name: make() for name, make in _MAKERS.items()}
+
+
+def _buckets(result):
+    return {pid: sorted(map(repr, rows)) for pid, rows in result.buckets.items()}
+
+
+# -- the required regression: whereConsolidated cost parity per domain ------
+
+
+@pytest.mark.parametrize("domain", sorted(_MAKERS))
+def test_whereconsolidated_per_record_cost_parity(domain, domain_datasets):
+    """Per-record cost on the merged plan is identical compiled vs vectorized.
+
+    This is the regression pin for the whole backend: equal buckets AND
+    equal exact udf cost over the same records means equal per-record
+    cost, family by family, on every evaluation domain.
+    """
+
+    dataset = domain_datasets[domain]
+    module = DOMAIN_QUERIES[domain]
+    rows = dataset.rows[:30]
+    for family in module.FAMILY_NAMES:
+        batch = module.make_batch(dataset, family, n=3, seed=7)
+        compiled, _ = run_where_consolidated(
+            rows, batch, dataset.functions,
+            config=ExecutionConfig(backend="compiled"),
+        )
+        vectorized, _ = run_where_consolidated(
+            rows, batch, dataset.functions,
+            config=ExecutionConfig(backend="vectorized"),
+        )
+        tag = f"{domain}/{family}"
+        assert _buckets(vectorized) == _buckets(compiled), tag
+        assert vectorized.metrics.udf_cost == compiled.metrics.udf_cost, tag
+        assert (
+            vectorized.metrics.per_worker_udf == compiled.metrics.per_worker_udf
+        ), tag
+        assert (
+            vectorized.metrics.total_cost == compiled.metrics.total_cost
+        ), tag
+
+
+@pytest.mark.parametrize("domain", sorted(_MAKERS))
+def test_wheremany_parity_with_prefilter(domain, domain_datasets):
+    """The φ-guard composes: guard verdicts become a column mask, and the
+    compacted batch still reproduces the compiled+prefilter run exactly."""
+
+    dataset = domain_datasets[domain]
+    module = DOMAIN_QUERIES[domain]
+    family = module.FAMILY_NAMES[0]
+    batch = module.make_batch(dataset, family, n=3, seed=7)
+    rows = dataset.rows[:30]
+    compiled = run_where_many(
+        rows, batch, dataset.functions,
+        config=ExecutionConfig(backend="compiled", prefilter=True),
+    )
+    vectorized = run_where_many(
+        rows, batch, dataset.functions,
+        config=ExecutionConfig(backend="vectorized", prefilter=True),
+    )
+    assert _buckets(vectorized) == _buckets(compiled)
+    assert vectorized.metrics.udf_cost == compiled.metrics.udf_cost
+    assert vectorized.metrics.per_worker_total == compiled.metrics.per_worker_total
+
+
+# -- the fallback ladder is recorded, never raised --------------------------
+
+
+UNBOUNDED_SRC = """
+program ub(row) {
+  s := 0;
+  while (s < yearly_rainfall(@row)) {
+    s := s + 7;
+  }
+  notify ub (s > 20);
+}
+"""
+
+
+class TestFallbackLadder:
+    def test_unbounded_shape_degrades_to_per_row(self, domain_datasets):
+        dataset = domain_datasets["weather"]
+        program = parse_program(UNBOUNDED_SRC)
+        vp = vectorize_program(program, dataset.functions)
+        assert not vp.vectorized
+        assert vp.shape == "unbounded"
+        assert "unbounded" in vp.degraded_reason
+        rows = dataset.rows[:12]
+        batch = vp.run_batch(columns_from_records(program, rows), len(rows))
+        assert batch.fallback
+        assert batch.fallback_reason == vp.degraded_reason
+        runner = make_runner(program, dataset.functions, backend="compiled")
+        for i, row in enumerate(rows):
+            want = runner({"row": row})
+            assert batch.costs[i] == want.cost
+            assert batch.notifications_at(i) == want.notifications
+            assert batch.notification_costs_at(i) == want.notification_costs
+
+    def test_fallback_is_counted(self, domain_datasets):
+        dataset = domain_datasets["weather"]
+        program = parse_program(UNBOUNDED_SRC)
+        telemetry = Telemetry.capture()
+        vp = vectorize_program(program, dataset.functions, telemetry=telemetry)
+        rows = dataset.rows[:9]
+        vp.run_batch(columns_from_records(program, rows), len(rows))
+        assert telemetry.counter("vectorized_fallbacks_total").value == 1
+        assert (
+            telemetry.counter("vectorized_fallback_records_total").value
+            == len(rows)
+        )
+
+    def test_vectorized_run_emits_batch_series(self, domain_datasets):
+        dataset = domain_datasets["weather"]
+        module = DOMAIN_QUERIES["weather"]
+        batch = module.make_batch(dataset, "Q1", n=3, seed=7)
+        cfg = ExecutionConfig(
+            backend="vectorized", telemetry=Telemetry.capture()
+        )
+        run_where_many(dataset.rows[:20], batch, dataset.functions, config=cfg)
+        reg = cfg.telemetry
+        assert reg.counter("vectorized_batches_total").value > 0
+        assert reg.counter("vectorized_records_total").value > 0
+        assert reg.histogram("vectorized_batch_size").count > 0
+        assert reg.counter("vectorized_fallbacks_total").value == 0
+
+
+class TestPlanCache:
+    def test_hit_and_miss_are_counted(self, domain_datasets):
+        dataset = domain_datasets["weather"]
+        module = DOMAIN_QUERIES["weather"]
+        program = module.make_batch(dataset, "Q1", n=1, seed=7)[0]
+        clear_vectorize_cache()
+        telemetry = Telemetry.capture()
+        first = vectorize_cached(
+            program, dataset.functions, telemetry=telemetry
+        )
+        again = vectorize_cached(
+            program, dataset.functions, telemetry=telemetry
+        )
+        assert again is first
+        assert telemetry.counter("vectorized_plan_cache_misses_total").value == 1
+        assert telemetry.counter("vectorized_plan_cache_hits_total").value == 1
+
+    def test_unvectorizable_is_counted(self, domain_datasets):
+        dataset = domain_datasets["weather"]
+        program = parse_program(UNBOUNDED_SRC)
+        clear_vectorize_cache()
+        telemetry = Telemetry.capture()
+        vp = vectorize_cached(program, dataset.functions, telemetry=telemetry)
+        assert not vp.vectorized
+        assert telemetry.counter("vectorized_unvectorizable_total").value == 1
+
+
+# -- the service serves the vectorized backend ------------------------------
+
+
+def test_service_registry_runs_vectorized(domain_datasets):
+    dataset = domain_datasets["weather"]
+    module = DOMAIN_QUERIES["weather"]
+    batch = module.make_batch(dataset, "Mix", n=4, seed=11)
+    rows = dataset.rows[:25]
+    results = {}
+    for backend in ("compiled", "vectorized"):
+        registry = QueryRegistry(
+            dataset.functions, config=ExecutionConfig(backend=backend)
+        )
+        for program in batch:
+            registry.register(program)
+        results[backend] = registry.run(rows)
+    assert _buckets(results["vectorized"]) == _buckets(results["compiled"])
+    assert (
+        results["vectorized"].metrics.udf_cost
+        == results["compiled"].metrics.udf_cost
+    )
+
+
+# -- fault seams ------------------------------------------------------------
+
+
+WEATHER = schema_dataset("weather")
+PROGRAMS = generate_case(2, "weather", 3, n_programs=4)
+INPUTS = case_inputs("weather")
+
+
+class TestVectorizeFaults:
+    def test_translation_crash_degrades_identically(self):
+        """An injected kernel-translation crash must be invisible except in
+        the fallback telemetry: every batch rides the per-row rung."""
+
+        baseline = run_where_many(
+            WEATHER.rows[:20], PROGRAMS, WEATHER.functions,
+            config=ExecutionConfig(backend="vectorized"),
+        )
+        cfg = ExecutionConfig(
+            backend="vectorized", telemetry=Telemetry.capture()
+        )
+        with vectorize_crash():
+            crashed = run_where_many(
+                WEATHER.rows[:20], PROGRAMS, WEATHER.functions, config=cfg
+            )
+        assert _buckets(crashed) == _buckets(baseline)
+        assert crashed.metrics.udf_cost == baseline.metrics.udf_cost
+        assert cfg.telemetry.counter("vectorized_fallbacks_total").value > 0
+
+    def test_battery_green_under_translation_crash(self):
+        with vectorize_crash():
+            result = run_battery(
+                PROGRAMS, WEATHER, inputs=INPUTS,
+                executors=("serial",), check_validator=False,
+            )
+        assert result.ok, [str(d) for d in result.discrepancies]
+
+    def test_mismask_is_caught_by_battery(self):
+        """The harness testing itself: a deliberately negated guard column
+        must surface as a 'vectorized' oracle discrepancy."""
+
+        with vectorize_mismask():
+            result = run_battery(
+                PROGRAMS, WEATHER, inputs=INPUTS,
+                executors=("serial",), check_validator=False,
+            )
+        assert not result.ok
+        assert "vectorized" in {d.oracle for d in result.discrepancies}
