@@ -17,6 +17,14 @@ in ``BENCH_compiled.json``.  The guardrail: **A/B <= 1.05** (best-of-5).
 For context the report also times the fully instrumented path
 (``Telemetry.capture(trace=True)``), which is allowed to be slower.
 
+The same A measurement now also guards the *profiler-off* promise: the
+sampling micro-profiler's hooks live on the very code paths A times
+(``make_runner`` wraps per-record runners, the operators check the batch
+hook), and with no profiler configured — the default — both reduce to
+one attribute read per run.  A fourth context run times the engine with
+a live :class:`repro.profiling.Profiler` attached (sampling every 32nd
+invocation into a throwaway trace), which is allowed to cost more.
+
 Standalone run writes ``BENCH_telemetry.json`` at the repository root::
 
     PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
@@ -116,12 +124,31 @@ def measure(cities=120, n_udfs=50, family="Mix", seed=1, repeats=5, workers=4):
     traced_query = build(live)
     traced_s, traced_run = _best_of(repeats, lambda: traced_query.run())
 
+    import tempfile
+
+    from repro.profiling import Profiler, TraceStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(Path(tmp) / "overhead_trace.jsonl")
+        profiler = Profiler(store, domain="weather", sample_every=32)
+        profiled_cfg = ExecutionConfig(profiler=profiler)
+        profiled_query = build(profiled_cfg)
+        profiled_s, profiled_run = _best_of(
+            repeats, lambda: profiled_query.run(profiled_cfg)
+        )
+        store.close()
+        samples_taken = profiler.samples_taken
+
     assert engine_run.buckets == bare_state.buckets, (
         "engine fast path and bare seed loop disagree — engine bug"
     )
     assert engine_run.buckets == traced_run.buckets, (
         "instrumented path changes outputs — telemetry bug"
     )
+    assert engine_run.buckets == profiled_run.buckets, (
+        "profiled path changes outputs — profiler bug"
+    )
+    assert samples_taken > 0, "live profiler took no samples"
     assert engine_run.metrics.per_operator == {}, (
         "disabled telemetry still allocated per-operator stats"
     )
@@ -138,8 +165,11 @@ def measure(cities=120, n_udfs=50, family="Mix", seed=1, repeats=5, workers=4):
         "bare_ms_per_record": round(bare_s / len(rows) * 1e3, 4),
         "engine_ms_per_record": round(engine_s / len(rows) * 1e3, 4),
         "traced_ms_per_record": round(traced_s / len(rows) * 1e3, 4),
+        "profiled_ms_per_record": round(profiled_s / len(rows) * 1e3, 4),
         "noop_overhead_ratio": round(ratio, 4),
         "traced_overhead_ratio": round(traced_s / bare_s, 4),
+        "profiled_overhead_ratio": round(profiled_s / bare_s, 4),
+        "profiler_samples": samples_taken,
         "bar": OVERHEAD_BAR,
     }
 
@@ -166,6 +196,11 @@ def main() -> int:
     print(
         f"instrumented (trace+metrics)          {report['traced_ms_per_record']:.3f} ms/record  "
         f"(ratio {report['traced_overhead_ratio']:.3f})"
+    )
+    print(
+        f"live profiler (1/32 sampling)         {report['profiled_ms_per_record']:.3f} ms/record  "
+        f"(ratio {report['profiled_overhead_ratio']:.3f}, "
+        f"{report['profiler_samples']} samples)"
     )
     if report["noop_overhead_ratio"] > OVERHEAD_BAR:
         print(

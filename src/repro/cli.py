@@ -60,6 +60,21 @@ Commands
     ``--port 0`` binds an ephemeral port, printed as ``serving on
     http://…`` at startup.
 
+``profile``
+    Run a domain's generated query families under the sampling
+    micro-profiler (:mod:`repro.profiling`) and append schema-versioned
+    samples — static per-operation units against observed wall seconds,
+    tagged with backend and domain — to a JSONL trace
+    (``--trace-out``).  ``--sample-every`` sets the sampling stride;
+    the chosen ``--backend`` decides which execution path is observed.
+
+``calibrate``
+    Fit a :class:`~repro.profiling.model.CalibratedCostModel` from a
+    profiling trace by least squares and print its diagnostics (R²,
+    residuals, per-operation weight/stderr/support/confidence).
+    ``--out`` writes the model JSON that ``--calibration`` flags accept;
+    fitting the same trace twice yields byte-identical files.
+
 ``fuzz``
     Differential fuzzing (:mod:`repro.testing`): generate random typed UDF
     batches and run the oracle battery (interpreter vs compiled backend,
@@ -100,6 +115,20 @@ from .telemetry import NULL_TELEMETRY, Telemetry
 __all__ = ["main"]
 
 
+def _calibration_from_args(args):
+    """Load the ``--calibration`` model file, if the command has the flag."""
+
+    path = getattr(args, "calibration", None)
+    if path is None:
+        return None
+    from .profiling import CalibratedCostModel
+
+    try:
+        return CalibratedCostModel.load(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load calibration model {path}: {exc}")
+
+
 def _config_from_args(args) -> ExecutionConfig:
     """One ExecutionConfig for the whole CLI invocation."""
 
@@ -109,6 +138,10 @@ def _config_from_args(args) -> ExecutionConfig:
         executor=getattr(args, "executor", None) or "serial",
         max_workers=getattr(args, "max_workers", None) or 4,
         telemetry=telemetry,
+        profiler=getattr(args, "_profiler", None),
+        planner=getattr(args, "planner", None) or "related",
+        calibration=_calibration_from_args(args),
+        smt_budget_seconds=getattr(args, "smt_budget", None),
     )
 
 
@@ -438,6 +471,8 @@ def cmd_explain(args) -> int:
             seed=args.seed,
             rows=args.rows,
             telemetry=args._telemetry,
+            planner=args.planner or "related",
+            calibration=_calibration_from_args(args),
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -461,6 +496,85 @@ def cmd_explain(args) -> int:
             ],
         }
     ]
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .naiad.linq import from_collection
+    from .profiling import Profiler, TraceStore
+    from .queries import DOMAIN_QUERIES
+
+    dataset = _domain_dataset(args.domain)
+    module = DOMAIN_QUERIES[args.domain]
+    families = [args.family] if args.family else list(module.FAMILY_NAMES)
+    store = TraceStore(args.trace_out)
+    profiler = Profiler(
+        store, domain=args.domain, sample_every=args.sample_every
+    )
+    args._profiler = profiler
+    cfg = _config_from_args(args)
+    rows = list(dataset.rows[: args.rows])
+    invocations = 0
+    with store:
+        for family in families:
+            batch = module.make_batch(dataset, family, n=args.n, seed=args.seed)
+            for program in batch:
+                query = from_collection(rows, config=cfg).where(
+                    program, dataset.functions
+                )
+                query.run(cfg)
+                invocations += len(rows)
+    print(
+        f"# profiled {invocations} UDF invocations across {len(families)} "
+        f"families on backend {cfg.backend}: {profiler.samples_taken} samples "
+        f"appended to {args.trace_out}",
+        file=sys.stderr,
+    )
+    args._artifact["rows"] = [
+        {
+            "trace": args.trace_out,
+            "samples": profiler.samples_taken,
+            "invocations": invocations,
+            "backend": cfg.backend,
+            "families": families,
+        }
+    ]
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    import json
+
+    from .profiling import fit_calibration, read_trace
+
+    samples, skipped = read_trace(args.trace_in)
+    if skipped:
+        print(f"# skipped {skipped} incompatible trace line(s)", file=sys.stderr)
+    if not samples:
+        raise SystemExit(f"no usable samples in {args.trace_in}")
+    model = fit_calibration(samples)
+    if args.out:
+        model.save(args.out)
+        print(f"# calibrated model written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(model.to_dict(), indent=2, sort_keys=True))
+    else:
+        backends = ", ".join(
+            f"{name}={count}" for name, count in sorted(model.backends.items())
+        )
+        print(f"fitted {model.samples} samples ({backends})")
+        print(
+            f"r2 {model.r2:.4f}  residual abs mean {model.residual_abs_mean:.3e}s "
+            f"max {model.residual_abs_max:.3e}s"
+        )
+        for kind in sorted(model.weights):
+            print(
+                f"  {kind:8s} {model.weights[kind]:.3e} s/unit  "
+                f"stderr {model.stderr.get(kind, 0.0):.1e}  "
+                f"support {int(model.support.get(kind, 0)):5d}  "
+                f"confidence {model.confidence(kind)}"
+            )
+    args._artifact["rows"] = [model.to_dict()]
     return 0
 
 
@@ -578,9 +692,32 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--backend", choices=BACKENDS, default=argparse.SUPPRESS
     )
+    # Planner knobs shared by every command that consolidates.
+    from .config import PLANNERS
+
+    planner_opts = argparse.ArgumentParser(add_help=False)
+    planner_opts.add_argument(
+        "--planner",
+        choices=PLANNERS,
+        default=None,
+        help="pair-selection strategy (default: related; 'calibrated' orders "
+        "pairs by predicted savings under a calibrated cost model and skips "
+        "predicted-unprofitable merges)",
+    )
+    planner_opts.add_argument(
+        "--calibration",
+        metavar="MODEL.json",
+        default=None,
+        help="calibrated cost model from 'repro calibrate' (the calibrated "
+        "planner falls back to uniform weights without one)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("consolidate", help="merge programs from files", parents=[common])
+    p = sub.add_parser(
+        "consolidate",
+        help="merge programs from files",
+        parents=[common, planner_opts],
+    )
     p.add_argument("files", nargs="+")
     p.add_argument("--domain", help="evaluation domain supplying library functions")
     p.add_argument("--if-rule-mode", default="heuristic", choices=["heuristic", "always_if3", "always_if5"])
@@ -594,6 +731,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="how pair merges run: serial (default), thread, or process",
     )
     p.add_argument("--max-workers", type=int, default=None, help="pool size for thread/process executors")
+    p.add_argument(
+        "--smt-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="calibrated planner only: total SMT wall-time budget, spent on "
+        "the highest-predicted-savings pairs first",
+    )
     p.set_defaults(fn=cmd_consolidate)
 
     p = sub.add_parser("lint", help="static UDF linter (+ optional translation validation)", parents=[common])
@@ -683,7 +828,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "explain",
         help="derivation explain-plan for one consolidated pair",
-        parents=[common],
+        parents=[common, planner_opts],
     )
     p.add_argument(
         "--domain",
@@ -706,6 +851,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", metavar="PATH", help="write the report to PATH instead of stdout")
     p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser(
+        "profile",
+        help="sample UDF executions into a profiling trace",
+        parents=[common],
+    )
+    p.add_argument(
+        "--domain",
+        required=True,
+        choices=["weather", "flight", "news", "twitter", "stock"],
+        help="evaluation domain supplying the query batches",
+    )
+    p.add_argument(
+        "--trace-out",
+        required=True,
+        metavar="PATH",
+        help="JSONL trace file samples are appended to (calibrate reads it)",
+    )
+    p.add_argument("--family", help="one generated family (default: all)")
+    p.add_argument("--n", type=int, default=4, help="queries per family")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--rows", type=int, default=500, help="dataset rows run per query"
+    )
+    p.add_argument(
+        "--sample-every",
+        type=int,
+        default=8,
+        metavar="K",
+        help="time every K-th invocation (default: %(default)s)",
+    )
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit a calibrated cost model from a profiling trace",
+        parents=[common],
+    )
+    p.add_argument(
+        "--trace-in",
+        required=True,
+        metavar="PATH",
+        help="JSONL trace written by 'repro profile'",
+    )
+    p.add_argument(
+        "--out",
+        metavar="MODEL.json",
+        help="write the fitted model (consumable via --calibration)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_calibrate)
 
     p = sub.add_parser(
         "fuzz", help="differential fuzzing of the whole pipeline", parents=[common]
@@ -748,7 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="run the consolidation service (dynamic query registry over HTTP)",
-        parents=[common],
+        parents=[common, planner_opts],
     )
     p.add_argument(
         "--domain",

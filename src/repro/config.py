@@ -36,12 +36,17 @@ __all__ = [
     "ExecutionConfig",
     "ServiceConfig",
     "EXECUTORS",
+    "PLANNERS",
     "LEGACY_KWARG_REMOVAL",
     "resolve_config",
     "deprecated_kwarg",
 ]
 
 EXECUTORS = ("serial", "thread", "process")
+
+# Consolidation pair-ordering strategies (see repro.profiling.planner for
+# the calibrated one).
+PLANNERS = ("related", "calibrated")
 
 # The version in which every legacy per-function keyword disappears; the
 # deprecation warnings name it so callers can plan, and
@@ -109,6 +114,29 @@ class ExecutionConfig:
         full UDF, skipping rows that provably notify nobody.  Off by
         default — the disabled hot path costs one ``None`` check per
         record, mirroring the telemetry discipline.
+    ``profiler``
+        Optional :class:`repro.profiling.Profiler`.  When set, the
+        backends sample executions (every Nth invocation / column batch)
+        into its trace store for offline calibration (``repro
+        calibrate``).  ``None`` (the default) keeps every hot path
+        unwrapped — the zero-cost-when-off discipline again.
+    ``planner``
+        Consolidation pair-ordering strategy: ``"related"`` (the paper's
+        heuristic, default) or ``"calibrated"`` — rank candidate pairs by
+        predicted wall-seconds saved under ``calibration``, skip pairs
+        predicted unprofitable, and spend ``smt_budget_seconds`` on the
+        highest-savings merges first (see
+        :mod:`repro.profiling.planner`).
+    ``calibration``
+        Optional :class:`repro.profiling.CalibratedCostModel` backing the
+        calibrated planner.  When the planner is ``"calibrated"`` and no
+        model is supplied, the driver falls back to
+        ``CalibratedCostModel.uniform()`` (static Figure-2 priors).
+    ``smt_budget_seconds``
+        Wall-time budget for SMT-backed pair merges per
+        ``consolidate_all`` call under the calibrated planner; once
+        exhausted, the remaining (lower-savings) pairs merge without the
+        solver.  ``None`` = unbudgeted.
     """
 
     backend: str = DEFAULT_BACKEND
@@ -124,12 +152,25 @@ class ExecutionConfig:
     sink: object = None
     provenance: bool = False
     prefilter: bool = False
+    profiler: object = None
+    planner: str = "related"
+    calibration: object = None
+    smt_budget_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
         if self.executor not in EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r}; choose from {EXECUTORS}")
+        if self.planner not in PLANNERS:
+            raise ValueError(
+                f"unknown planner {self.planner!r}; choose from {PLANNERS}"
+            )
+        if self.smt_budget_seconds is not None and self.smt_budget_seconds < 0:
+            raise ValueError(
+                f"smt_budget_seconds must be >= 0 (or None for unbudgeted), "
+                f"got {self.smt_budget_seconds!r}"
+            )
         if self.workers < 1:
             raise ValueError(
                 f"workers must be an integer >= 1, got {self.workers!r}"

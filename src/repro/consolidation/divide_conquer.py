@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Iterator, Optional, Sequence
 
 from ..lang.ast import Program, seq
@@ -51,10 +51,12 @@ from ..lang.cost import DEFAULT_COST_MODEL, CostModel
 from ..lang.functions import FunctionTable, LibraryFunction
 from ..lang.visitors import notified_pids, rename_locals
 from ..smt.solver import Solver
-from ..provenance.recorder import DerivationRecorder
+from ..provenance.recorder import DerivationRecorder, Heuristic
 from ..telemetry import NULL_TELEMETRY
 from .algorithm import ConsolidationError, ConsolidationOptions, Consolidator
 from .simplifier import SimplifyStats
+
+_PLANNERS = ("related", "calibrated")
 
 __all__ = [
     "ConsolidationReport",
@@ -176,6 +178,16 @@ class ConsolidationReport:
     ``consolidate.prefilter``) so guard synthesis can be banded apart
     from merge time.
 
+    ``planner`` records the pair-ordering strategy that ran (``"related"``
+    — the default heuristic adjacency — or ``"calibrated"``), and
+    ``planner_decisions`` one dict per calibrated-planner decision:
+    ``{"left", "right", "merged", "predicted_savings_seconds",
+    "observed_savings_seconds", "mispredicted", "used_smt"}``.  A *skip*
+    decision (``"merged": False``) means the planner predicted zero
+    cross-simplification value and composed the pair sequentially without
+    invoking the consolidator at all — semantically the exact result a
+    merge of unrelated programs produces, minus its cost.
+
     ``skipped_pairs`` records every pair merge that failed mid-batch and
     was replaced by the sequential composition of its two inputs (one
     ``{"left", "right", "reason"}`` dict per skip); ``degradations`` is a
@@ -203,6 +215,8 @@ class ConsolidationReport:
     degradations: list = field(default_factory=list)
     derivations: list = field(default_factory=list)
     merge_tree: Optional[MergeNode] = None
+    planner: str = "related"
+    planner_decisions: list = field(default_factory=list)
 
     @property
     def all_certified(self) -> bool:
@@ -315,6 +329,9 @@ def consolidate_all(
     provenance: Optional[bool] = None,
     prefilter: Optional[bool] = None,
     keep_tree: bool = False,
+    planner: Optional[str] = None,
+    calibration=None,
+    smt_budget_seconds: Optional[float] = None,
 ) -> ConsolidationReport:
     """Merge ``programs`` into one program broadcasting every result.
 
@@ -346,6 +363,23 @@ def consolidate_all(
     intermediate merged program).  The incremental re-consolidation engine
     (:mod:`repro.consolidation.incremental`) patches this tree on
     add/remove of a single query instead of re-running the whole batch.
+
+    ``planner="calibrated"`` replaces the level's fixed adjacent pairing
+    with the cost-driven plan of :mod:`repro.profiling.planner`: pairs
+    are ranked by predicted wall-seconds saved under ``calibration`` (a
+    :class:`repro.profiling.CalibratedCostModel`; the static-prior
+    ``uniform()`` model when none is supplied), executed highest-savings
+    first, and pairs predicted unprofitable are composed sequentially
+    without invoking the consolidator.  ``smt_budget_seconds`` caps the
+    wall time spent on SMT-backed merges: once the budget is gone, the
+    remaining (lowest-savings) pairs merge with ``use_smt=False``.
+    Calibrated planning applies to the tree orders (``tree`` /
+    ``clustered``) and runs its pair merges in-process and in plan order
+    — budget accounting is sequential by construction — so ``executor``
+    only shapes the ``related`` planner's levels.  Every decision lands
+    on ``report.planner_decisions`` and, for provenance-recorded merges,
+    as a ``planner`` heuristic entry on the pair's derivation tree
+    (rendered by ``repro explain``).
     """
 
     if not programs:
@@ -387,6 +421,14 @@ def consolidate_all(
         provenance = bool(config.provenance) if config is not None else False
     if prefilter is None:
         prefilter = bool(config.prefilter) if config is not None else False
+    if planner is None:
+        planner = config.planner if config is not None else "related"
+    if planner not in _PLANNERS:
+        raise ValueError(f"unknown planner {planner!r}; choose from {_PLANNERS}")
+    if calibration is None and config is not None:
+        calibration = config.calibration
+    if smt_budget_seconds is None and config is not None:
+        smt_budget_seconds = config.smt_budget_seconds
 
     if order == "priority":
         rank = {pid: i for i, pid in enumerate(priority or [])}
@@ -417,7 +459,25 @@ def consolidate_all(
     degradations: list[str] = []
     derivations: list = []
 
-    def merge(a: Program, b: Program) -> Program:
+    # Calibrated-planner state (inert under planner="related").
+    calib_model = None
+    planner_decisions: list[dict] = []
+    planner_skips = 0
+    planner_mispredictions = 0
+    planner_budget_exhausted = 0
+    smt_spent = 0.0
+    if planner == "calibrated":
+        from ..profiling import CalibratedCostModel
+
+        calib_model = (
+            calibration
+            if calibration is not None
+            else CalibratedCostModel.uniform(cost_model)
+        )
+
+    def merge(
+        a: Program, b: Program, pair_options: ConsolidationOptions | None = None
+    ) -> Program:
         # A fresh Consolidator per pair keeps traces separate; the shared
         # solver keeps the entailment cache warm across pairs, and the
         # shared stats object aggregates fast-path counters batch-wide.
@@ -433,7 +493,12 @@ def consolidate_all(
                 FAULT_HOOK("consolidate.pair", (a, b))
             recorder = DerivationRecorder() if provenance else None
             worker = Consolidator(
-                functions, cost_model, options, solver, stats, recorder=recorder
+                functions,
+                cost_model,
+                pair_options if pair_options is not None else options,
+                solver,
+                stats,
+                recorder=recorder,
             )
             with telemetry.span("consolidate.pair", left=a.pid, right=b.pid):
                 merged = worker.consolidate(a, b)
@@ -500,6 +565,106 @@ def consolidate_all(
                 pool_broken = False
                 while len(level) > 1:
                     depth += 1
+                    if calib_model is not None:
+                        # The cost-driven plan: highest predicted savings
+                        # first, zero-savings pairs composed sequentially
+                        # without touching the consolidator, SMT budget
+                        # spent down the ranking.  Sequential by
+                        # construction (budget accounting needs the order).
+                        from ..profiling.planner import plan_level
+
+                        plan = plan_level(level, functions, calib_model)
+                        merged = []
+                        for decision in plan.decisions:
+                            a = level[decision.left]
+                            b = level[decision.right]
+                            if not decision.merge:
+                                m = _sequential_pair(a, b)
+                                planner_skips += 1
+                                planner_decisions.append(
+                                    {
+                                        "left": a.pid,
+                                        "right": b.pid,
+                                        "merged": False,
+                                        "predicted_savings_seconds": decision.predicted_savings,
+                                        "observed_savings_seconds": 0.0,
+                                        "mispredicted": False,
+                                        "used_smt": False,
+                                    }
+                                )
+                            else:
+                                pair_options = options
+                                use_smt = options.use_smt
+                                if (
+                                    use_smt
+                                    and smt_budget_seconds is not None
+                                    and smt_spent >= smt_budget_seconds
+                                ):
+                                    pair_options = dc_replace(
+                                        options, use_smt=False
+                                    )
+                                    use_smt = False
+                                    planner_budget_exhausted += 1
+                                before_derivations = len(derivations)
+                                merge_started = time.perf_counter()
+                                m = merge(a, b, pair_options)
+                                if use_smt:
+                                    smt_spent += (
+                                        time.perf_counter() - merge_started
+                                    )
+                                # Realized savings under the same model:
+                                # predicted cost of the two inputs minus the
+                                # merged program's.  A positive prediction
+                                # that realizes nothing is a misprediction —
+                                # flagged, counted, rendered by explain.
+                                observed = (
+                                    calib_model.predict_program_seconds(a, functions)
+                                    + calib_model.predict_program_seconds(b, functions)
+                                    - calib_model.predict_program_seconds(m, functions)
+                                )
+                                mispredicted = (
+                                    decision.predicted_savings > 0.0
+                                    and observed <= 0.0
+                                )
+                                if mispredicted:
+                                    planner_mispredictions += 1
+                                planner_decisions.append(
+                                    {
+                                        "left": a.pid,
+                                        "right": b.pid,
+                                        "merged": True,
+                                        "predicted_savings_seconds": decision.predicted_savings,
+                                        "observed_savings_seconds": observed,
+                                        "mispredicted": mispredicted,
+                                        "used_smt": use_smt,
+                                    }
+                                )
+                                if provenance and len(derivations) > before_derivations:
+                                    detail = (
+                                        f"predicted={decision.predicted_savings:.3e}s "
+                                        f"observed={observed:.3e}s"
+                                    )
+                                    if not use_smt:
+                                        detail += " (smt budget exhausted)"
+                                    if mispredicted:
+                                        detail += " MISPREDICTED"
+                                    derivations[-1].root.heuristics.append(
+                                        Heuristic(
+                                            "planner", detail, not mispredicted
+                                        )
+                                    )
+                            merged.append(m)
+                        pairs += len(plan.decisions)
+                        if nodes is not None:
+                            merged_nodes = [
+                                MergeNode(m, nodes[d.left], nodes[d.right])
+                                for d, m in zip(plan.decisions, merged)
+                            ]
+                            nodes = merged_nodes + [
+                                nodes[i] for i in plan.carried
+                            ]
+                        level = merged + [level[i] for i in plan.carried]
+                        continue
                     pairings = [
                         (level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
                     ]
@@ -615,6 +780,25 @@ def consolidate_all(
         registry.gauge("consolidation_memo_hit_rate").set(
             simplify_snapshot.get("memo_hit_rate", 0.0)
         )
+        if planner == "calibrated":
+            registry.counter("planner_pairs_total").inc(
+                sum(1 for d in planner_decisions if d["merged"])
+            )
+            registry.counter("planner_skips_total").inc(planner_skips)
+            registry.counter("planner_mispredictions_total").inc(
+                planner_mispredictions
+            )
+            registry.counter("planner_smt_budget_exhausted_total").inc(
+                planner_budget_exhausted
+            )
+            registry.gauge("planner_predicted_savings_seconds").set(
+                sum(d["predicted_savings_seconds"] for d in planner_decisions)
+            )
+            if calib_model is not None:
+                registry.gauge("calibration_staleness_seconds").set(
+                    calib_model.staleness_seconds()
+                )
+                registry.gauge("calibration_r2").set(calib_model.r2)
 
     if prefilter_obj is not None and prefilter_obj.derivation is not None:
         derivations.append(prefilter_obj.derivation)
@@ -637,4 +821,6 @@ def consolidate_all(
         degradations=degradations,
         derivations=derivations,
         merge_tree=nodes[0] if keep_tree else None,
+        planner=planner,
+        planner_decisions=planner_decisions,
     )

@@ -675,6 +675,7 @@ def make_runner(
     memoize_calls: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
     telemetry=None,
+    profiler=None,
 ) -> Callable[[Mapping[str, object]], RunResult]:
     """Return ``args -> RunResult`` for the chosen execution backend.
 
@@ -682,11 +683,26 @@ def make_runner(
     back to a private interpreter — with a logged warning and a
     ``compile_fallbacks_total`` count — if compilation fails for any
     reason, so callers always get a working runner.
+
+    ``profiler`` (a :class:`repro.profiling.Profiler`) wraps the returned
+    runner with the sampling hook, tagged with the backend that actually
+    serves it (``compiled`` vs the interpreter fallback).  ``None`` — the
+    default — returns the bare runner: the hook costs nothing when off
+    because it is never installed.
     """
 
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     live = telemetry is not None and telemetry.enabled
+    profiled = profiler is not None and profiler.enabled
+
+    def _hook(
+        runner: Callable[[Mapping[str, object]], RunResult], served_by: str
+    ) -> Callable[[Mapping[str, object]], RunResult]:
+        if not profiled:
+            return runner
+        return profiler.wrap_runner(runner, program, functions, served_by)
+
     if backend in ("compiled", "vectorized"):
         # The vectorized backend is batch-oriented: its column kernels live
         # in repro.lang.vectorize and are driven from the dataflow
@@ -695,14 +711,17 @@ def make_runner(
         # probes, the fallback rung itself) gets the compiled closure —
         # which is exactly what a one-row batch degrades to anyway.
         try:
-            return compile_cached(
-                program,
-                functions,
-                cost_model,
-                memoize_calls=memoize_calls,
-                max_steps=max_steps,
-                telemetry=telemetry,
-            ).run
+            return _hook(
+                compile_cached(
+                    program,
+                    functions,
+                    cost_model,
+                    memoize_calls=memoize_calls,
+                    max_steps=max_steps,
+                    telemetry=telemetry,
+                ).run,
+                "compiled",
+            )
         except Exception as exc:  # noqa: BLE001 - fallback must be unconditional
             if live:
                 telemetry.counter("compile_fallbacks_total").inc()
@@ -719,4 +738,4 @@ def make_runner(
     def _run(args: Mapping[str, object]) -> RunResult:
         return interp.run(program, args)
 
-    return _run
+    return _hook(_run, "interp")

@@ -14,8 +14,9 @@ rather than from the model, since they vary per function (the ``m`` of
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+__all__ = ["CostModel", "DEFAULT_COST_MODEL", "cost_model_from_weights"]
 
 
 @dataclass(frozen=True)
@@ -46,3 +47,47 @@ class CostModel:
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+
+def cost_model_from_weights(
+    weights: Mapping[str, float], reference: str = "var"
+) -> CostModel:
+    """Fold calibrated seconds-per-unit weights back into a :class:`CostModel`.
+
+    This is the seam the profiling layer plugs into: a
+    :class:`repro.profiling.CalibratedCostModel` carries float weights in
+    wall seconds; the Figure-2 semantics wants small integers.  The
+    ``reference`` kind (default ``var``) is normalized to cost 1 and every
+    other kind scaled relative to it, rounded, and floored at 0 — the same
+    shape as the defaults above, just measured instead of assumed.
+
+    Unknown or non-positive reference weights fall back to the smallest
+    positive weight present, and an all-zero weight vector degrades to
+    :data:`DEFAULT_COST_MODEL` (never a zero-cost model, which would make
+    the consolidation cost bound vacuous).
+    """
+
+    base = float(weights.get(reference, 0.0))
+    if base <= 0.0:
+        positive = [w for w in weights.values() if w > 0.0]
+        if not positive:
+            return DEFAULT_COST_MODEL
+        base = min(positive)
+
+    def unit(kind: str) -> int:
+        return max(0, round(float(weights.get(kind, 0.0)) / base))
+
+    return CostModel(
+        int_const=unit("const"),
+        str_const=unit("const"),
+        bool_const=unit("const"),
+        var=unit("var"),
+        arg=unit("arg"),
+        arith=unit("arith"),
+        cmp=unit("cmp"),
+        neg=unit("neg"),
+        logic=unit("logic"),
+        assign=unit("assign"),
+        notify=unit("notify"),
+        branch=unit("branch"),
+    )

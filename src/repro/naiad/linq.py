@@ -75,6 +75,7 @@ class Query:
             "memoize_calls": cfg.memoize_calls,
             "telemetry": cfg.telemetry,
             "prefilter": cfg.prefilter,
+            "profiler": cfg.profiler,
         }
 
     def where(

@@ -30,6 +30,7 @@ gauge when telemetry is enabled.
 from __future__ import annotations
 
 from itertools import compress
+from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from ..lang.ast import Program
@@ -121,6 +122,10 @@ class _VectorMixin(_PrefilterMixin):
     """
 
     _pending: "dict[int, list] | None" = None
+    # Profiling hooks (None when off — the batch path then pays a single
+    # attribute check per flush, nothing per record).
+    _profiler = None
+    _functions = None
 
     @property
     def accepts_batches(self) -> bool:
@@ -210,12 +215,30 @@ class _VectorMixin(_PrefilterMixin):
                 self._pre_rejected += 1
         return keep
 
-    @staticmethod
-    def _run_batch(vp, program, records, worker):
-        """Execute one batch and charge its exact total UDF cost."""
+    def _run_batch(self, vp, program, records, worker):
+        """Execute one batch and charge its exact total UDF cost.
+
+        With a live profiler attached the whole batch is a sampling
+        candidate: one ``perf_counter`` span around the kernel run, total
+        seconds and total cost against ``records × per-record`` units
+        (see :meth:`repro.profiling.Profiler.record_batch`).
+        """
 
         if not records:
             return None
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            started = perf_counter()
+            batch = vp.run_batch(
+                columns_from_records(program, records), len(records)
+            )
+            elapsed = perf_counter() - started
+            cost = sum(batch.costs)
+            worker.charge_udf(cost)
+            profiler.record_batch(
+                program, self._functions, elapsed, cost, len(records)
+            )
+            return batch
         batch = vp.run_batch(columns_from_records(program, records), len(records))
         worker.charge_udf(sum(batch.costs))
         return batch
@@ -261,10 +284,13 @@ class Where(_VectorMixin, Vertex):
         backend: str = DEFAULT_BACKEND,
         telemetry=None,
         prefilter: bool = False,
+        profiler=None,
     ) -> None:
         super().__init__(f"where[{program.pid}]")
         self.program = program
         self._telemetry = telemetry
+        self._profiler = profiler
+        self._functions = functions
         self.guard = None
         if prefilter:
             guards = _make_guards(
@@ -278,6 +304,7 @@ class Where(_VectorMixin, Vertex):
             backend=backend,
             memoize_calls=memoize_calls,
             telemetry=telemetry,
+            profiler=profiler,
         )
         self._vectorized = backend == "vectorized"
         if self._vectorized:
@@ -330,12 +357,15 @@ class WhereMany(_VectorMixin, Vertex):
         backend: str = DEFAULT_BACKEND,
         telemetry=None,
         prefilter: bool = False,
+        profiler=None,
     ) -> None:
         super().__init__(f"whereMany[{len(programs)}]")
         if not programs:
             raise ValueError("whereMany needs at least one UDF")
         self.programs = list(programs)
         self._telemetry = telemetry
+        self._profiler = profiler
+        self._functions = functions
         self.guards = (
             _make_guards(self.programs, functions, cost_model, backend, telemetry)
             if prefilter
@@ -349,6 +379,7 @@ class WhereMany(_VectorMixin, Vertex):
                 backend=backend,
                 memoize_calls=memoize_calls,
                 telemetry=telemetry,
+                profiler=profiler,
             )
             for p in programs
         ]
@@ -420,11 +451,14 @@ class WhereConsolidated(_VectorMixin, Vertex):
         backend: str = DEFAULT_BACKEND,
         telemetry=None,
         prefilter: bool = False,
+        profiler=None,
     ) -> None:
         super().__init__(f"whereConsolidated[{len(pids)}]")
         self.merged = merged
         self.pids = list(pids)
         self._telemetry = telemetry
+        self._profiler = profiler
+        self._functions = functions
         self.guard = None
         if prefilter:
             guards = _make_guards(
@@ -438,6 +472,7 @@ class WhereConsolidated(_VectorMixin, Vertex):
             backend=backend,
             memoize_calls=memoize_calls,
             telemetry=telemetry,
+            profiler=profiler,
         )
         self._vectorized = backend == "vectorized"
         if self._vectorized:

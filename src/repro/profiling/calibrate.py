@@ -1,0 +1,149 @@
+"""The offline calibration fitter (``repro calibrate``).
+
+Ordinary least squares over trace samples: each sample contributes one
+row ``seconds ≈ Σ_kind weight(kind) · units(kind)`` (the per-record
+overhead rides on the :data:`~repro.profiling.features.RECORD_KIND`
+axis, so there is no separate intercept).  Everything is standard
+library — the normal equations are solved by Gaussian elimination with
+partial pivoting and a tiny ridge term for kinds the trace never
+exercises, which keeps the system non-singular without biasing
+well-supported weights.
+
+Diagnostics reported on the fitted model:
+
+* **R²** against the sample mean (1.0 = the weights explain all timing
+  variance in the trace);
+* **residuals** — mean and max absolute prediction error in seconds;
+* **per-kind standard errors** (``σ̂·√((XᵀX)⁻¹_kk)``) and **support**
+  (how many samples exercised the kind at all) — the inputs to
+  :meth:`CalibratedCostModel.confidence`;
+* sample and per-backend counts.
+
+Negative fitted weights (collinear features on a small trace) are
+clamped to zero — a *cost* weight below zero would make the planner
+prefer inserting work — and the clamp is visible as ``stderr`` staying
+honest about the uncertain kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .features import OP_KINDS, RECORD_KIND
+from .model import CalibratedCostModel
+from .trace import TraceSample, trace_fingerprint
+
+__all__ = ["fit_calibration"]
+
+# Ridge added to the normal equations' diagonal: small enough to leave
+# supported weights untouched (their diagonal entries are >= 1), large
+# enough to pin never-exercised kinds at ~0 instead of exploding.
+_RIDGE = 1e-9
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting (in place on copies)."""
+
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-300:
+            raise ValueError("singular calibration system")
+        a[col], a[pivot] = a[pivot], a[col]
+        inv = 1.0 / a[col][col]
+        for r in range(n):
+            if r != col and a[r][col] != 0.0:
+                factor = a[r][col] * inv
+                for c in range(col, n + 1):
+                    a[r][c] -= factor * a[col][c]
+    return [a[i][n] / a[i][i] for i in range(n)]
+
+
+def _invert_diagonal(matrix: List[List[float]]) -> List[float]:
+    """The diagonal of ``matrix⁻¹`` (one solve per basis vector)."""
+
+    n = len(matrix)
+    diag: List[float] = []
+    for i in range(n):
+        basis = [1.0 if j == i else 0.0 for j in range(n)]
+        diag.append(_solve(matrix, basis)[i])
+    return diag
+
+
+def fit_calibration(samples: Sequence[TraceSample]) -> CalibratedCostModel:
+    """Least-squares per-operation weights from a profiling trace."""
+
+    if not samples:
+        raise ValueError("cannot calibrate from an empty trace")
+
+    kinds: List[str] = list(OP_KINDS) + [RECORD_KIND]
+    index = {kind: i for i, kind in enumerate(kinds)}
+    p = len(kinds)
+
+    # Normal equations: A = XᵀX (+ ridge·I), b = Xᵀy.
+    a = [[0.0] * p for _ in range(p)]
+    b = [0.0] * p
+    support = {kind: 0 for kind in kinds}
+    backends: Dict[str, int] = {}
+    rows: List[List[float]] = []
+    y: List[float] = []
+    for sample in samples:
+        row = [0.0] * p
+        for kind, amount in sample.units.items():
+            i = index.get(kind)
+            if i is not None and amount:
+                row[i] = amount
+                support[kind] += 1
+        rows.append(row)
+        y.append(sample.seconds)
+        backends[sample.backend] = backends.get(sample.backend, 0) + 1
+        for i in range(p):
+            if row[i]:
+                b[i] += row[i] * sample.seconds
+                for j in range(p):
+                    if row[j]:
+                        a[i][j] += row[i] * row[j]
+    for i in range(p):
+        a[i][i] += _RIDGE
+
+    solution = _solve(a, b)
+    weights = {kind: max(0.0, solution[index[kind]]) for kind in kinds}
+
+    # Residual diagnostics against the *clamped* weights — the ones the
+    # planner will actually use.
+    n = len(samples)
+    residuals = []
+    for row, observed in zip(rows, y):
+        predicted = sum(
+            weights[kind] * row[index[kind]] for kind in kinds if row[index[kind]]
+        )
+        residuals.append(observed - predicted)
+    ss_res = sum(r * r for r in residuals)
+    mean_y = sum(y) / n
+    ss_tot = sum((v - mean_y) ** 2 for v in y)
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+
+    dof = max(1, n - p)
+    sigma2 = ss_res / dof
+    try:
+        inv_diag = _invert_diagonal(a)
+    except ValueError:
+        inv_diag = [float("inf")] * p
+    stderr = {
+        kind: (sigma2 * max(0.0, inv_diag[index[kind]])) ** 0.5 for kind in kinds
+    }
+
+    return CalibratedCostModel(
+        weights=weights,
+        r2=r2,
+        residual_abs_mean=sum(abs(r) for r in residuals) / n,
+        residual_abs_max=max(abs(r) for r in residuals),
+        stderr=stderr,
+        support=support,
+        samples=n,
+        backends=backends,
+        fitted_at=max(sample.ts for sample in samples),
+        trace_fingerprint=trace_fingerprint(samples),
+        source="fit",
+    )

@@ -74,6 +74,8 @@ class ExplainReport:
     consolidation_seconds: float = 0.0
     udf_cost_many: int = 0
     udf_cost_consolidated: int = 0
+    planner: str = "related"
+    planner_decisions: list[dict] = field(default_factory=list)
 
     def slowest_entailments(self, count: int = 10, by_time: bool = True):
         """The hotspot list.  ``by_time=False`` orders lexicographically —
@@ -111,6 +113,11 @@ class ExplainReport:
                 for e in self.slowest_entailments(by_time=include_timings)
             ],
         }
+        if self.planner != "related" or self.planner_decisions:
+            # Emitted only when the cost-driven planner ran, so default
+            # explain documents keep their pre-planner schema.
+            doc["planner"] = self.planner
+            doc["planner_decisions"] = self.planner_decisions
         if not include_timings:
             doc = _strip_timings(doc)
         return doc
@@ -127,6 +134,8 @@ def explain_batch(
     loose_threshold: float = DEFAULT_LOOSE_THRESHOLD,
     dataset=None,
     telemetry=None,
+    planner: str = "related",
+    calibration=None,
 ) -> ExplainReport:
     """Consolidate one pair with full recording and instrumented execution.
 
@@ -135,6 +144,12 @@ def explain_batch(
     live ``telemetry`` to receive the run's metrics (the CLI passes its
     ``--metrics-out`` registry; per-operator stats require a live
     instance, so a disabled one is replaced by a fresh capture).
+
+    ``planner="calibrated"`` (with an optional ``calibration`` model, see
+    ``repro calibrate``) routes the pair through the cost-driven planner;
+    its predicted-vs-observed savings land both on the derivation tree
+    (a ``planner`` heuristic entry, rendered in every format) and on
+    ``report.planner_decisions``.
     """
 
     from ..queries import DOMAIN_QUERIES
@@ -168,6 +183,8 @@ def explain_batch(
         telemetry=telemetry,
         provenance=True,
         prefilter=True,
+        planner=planner,
+        calibration=calibration,
     )
     prefilter_summary = None
     if report.prefilter is not None:
@@ -226,6 +243,8 @@ def explain_batch(
         consolidation_seconds=report.duration,
         udf_cost_many=many_run.metrics.udf_cost,
         udf_cost_consolidated=cons_run.metrics.udf_cost,
+        planner=report.planner,
+        planner_decisions=list(report.planner_decisions),
     )
 
 
@@ -285,6 +304,19 @@ def render_text(report: ExplainReport, include_timings: bool = True) -> str:
         )
         if pre["degraded_reason"]:
             out.append(f"  degraded: {pre['degraded_reason']}")
+        out.append("")
+    if report.planner_decisions:
+        out.append(f"planner ({report.planner}):")
+        for d in report.planner_decisions:
+            action = "merge" if d["merged"] else "skip "
+            flags = " MISPREDICTED" if d["mispredicted"] else ""
+            if d["merged"] and not d["used_smt"]:
+                flags += " (no smt: budget exhausted)"
+            out.append(
+                f"  {action} {d['left']} ⊗ {d['right']}: "
+                f"predicted {d['predicted_savings_seconds']:.3e}s, "
+                f"observed {d['observed_savings_seconds']:.3e}s{flags}"
+            )
         out.append("")
     for tree in report.derivations:
         out.append(f"derivation {tree.left} ⊗ {tree.right} → {tree.merged}")

@@ -169,6 +169,9 @@ class QueryRegistry:
             "full_rebuilds": 0,
             "patch_fallbacks": 0,
             "pair_merges_total": 0,
+            "planner_merges_total": 0,
+            "planner_skips_total": 0,
+            "planner_mispredictions_total": 0,
         }
         log_path = event_log if event_log is not None else self.service.event_log
         if log_path is not None:
@@ -399,6 +402,13 @@ class QueryRegistry:
         self.stats["full_rebuilds"] += 1
         self.stats["patch_fallbacks"] += 1
         self.stats["pair_merges_total"] += report.pair_consolidations
+        for decision in report.planner_decisions:
+            if decision["merged"]:
+                self.stats["planner_merges_total"] += 1
+            else:
+                self.stats["planner_skips_total"] += 1
+            if decision["mispredicted"]:
+                self.stats["planner_mispredictions_total"] += 1
         if self.telemetry.enabled:
             self.telemetry.counter("service_full_rebuilds_total").inc()
             self.telemetry.counter("service_pair_merges_total").inc(
@@ -487,6 +497,27 @@ class QueryRegistry:
             tree.program, pids, self.functions
         )
         return query.run(self.config)
+
+    def metrics_doc(self) -> dict:
+        """The ``/metrics`` document: counters plus planner/calibration info.
+
+        Counters come straight from ``stats``; the configured planner name
+        rides along, and when a calibrated model is installed its age,
+        fit timestamp, and provenance (``fit`` vs ``uniform``) are
+        reported so operators can alert on staleness.
+        """
+
+        with self._lock:
+            doc: dict = dict(self.stats)
+            doc["planner"] = self.config.planner
+            calibration = self.config.calibration
+            if calibration is not None:
+                doc["calibration_staleness_seconds"] = round(
+                    calibration.staleness_seconds(), 3
+                )
+                doc["calibration_fitted_at"] = calibration.fitted_at
+                doc["calibration_source"] = calibration.source
+            return doc
 
     def explain(self) -> dict:
         """A JSON-friendly account of the plan and how it got here."""

@@ -8,7 +8,9 @@ every route body is one registry call, so the offline facade
 method    path                     registry call
 ========  =======================  =============================================
 GET       ``/healthz``             liveness + membership count
-GET       ``/metrics``             the registry's counters, JSON
+GET       ``/metrics``             counters + planner/calibration info (JSON, or
+                                   Prometheus text when Accept asks for
+                                   ``text/plain``)
 GET       ``/v1/queries``          :meth:`QueryRegistry.queries`
 POST      ``/v1/queries``          :meth:`QueryRegistry.register`
 DELETE    ``/v1/queries/<pid>``    :meth:`QueryRegistry.unregister`
@@ -38,6 +40,7 @@ from typing import Optional
 
 from ..config import ExecutionConfig, ServiceConfig
 from ..lang.functions import FunctionTable
+from ..telemetry.sinks import prometheus_text
 from .errors import (
     AdmissionError,
     DuplicateQueryError,
@@ -89,6 +92,53 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_metrics(self) -> None:
+        """``/metrics``: JSON by default, Prometheus text on request.
+
+        A client whose ``Accept`` header mentions ``text/plain`` (what
+        Prometheus scrapers send) gets the exposition format rendered by
+        :func:`repro.telemetry.sinks.prometheus_text`; everything else
+        keeps the original JSON document.  Integer stats become
+        ``service_``-prefixed counters, float stats gauges, and string
+        fields (planner name, calibration source) ride on a labelled
+        info gauge.
+        """
+
+        doc = self.registry.metrics_doc()
+        accept = self.headers.get("Accept") or ""
+        if "text/plain" not in accept:
+            self._send(200, doc)
+            return
+        counters, gauges = [], []
+        info_labels = {}
+        for name in sorted(doc):
+            value = doc[name]
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int):
+                counters.append(
+                    {"name": f"service_{name}", "labels": {}, "value": value}
+                )
+            elif isinstance(value, float):
+                gauges.append(
+                    {"name": f"service_{name}", "labels": {}, "value": value}
+                )
+            else:
+                info_labels[name] = str(value)
+        gauges.append({"name": "service_info", "labels": info_labels, "value": 1})
+        text = prometheus_text(
+            {"counters": counters, "gauges": gauges, "histograms": []}
+        )
+        self._send_text(200, text, "text/plain; version=0.0.4; charset=utf-8")
+
     def _send_error(self, exc: Exception) -> None:
         if isinstance(exc, ServiceError):
             doc = {"error": exc.code, "message": str(exc)}
@@ -123,7 +173,7 @@ class _Handler(BaseHTTPRequestHandler):
                     200, {"status": "ok", "queries": len(self.registry)}
                 )
             elif self.path == "/metrics":
-                self._send(200, dict(self.registry.stats))
+                self._send_metrics()
             elif self.path == "/v1/queries":
                 self._send(
                     200,

@@ -20,6 +20,10 @@ is checked:
 * **validate_consolidation** — the static validator must not *refute* the
   merge (``unknown`` is acceptable: it is the validator giving up, not a
   counterexample);
+* **calibrated planner parity** — the batch is consolidated again under
+  the cost-driven planner (uniform fallback model); reordered, skipped or
+  budget-demoted merges must leave the notification buckets identical to
+  ``whereMany`` and keep the consolidated cost never worse;
 * **prefilter soundness** — every program (and the merged program) gets a
   synthesized reject-early guard; a row the guard rejects must produce no
   truthy notification when the full UDF runs;
@@ -62,7 +66,7 @@ __all__ = ["Discrepancy", "BatteryResult", "run_battery"]
 class Discrepancy:
     """One disagreement between two execution paths that must agree."""
 
-    oracle: str  # 'backend' | 'dataflow' | 'executor' | 'soundness' | 'validator' | 'prefilter' | 'vectorized'
+    oracle: str  # 'backend' | 'dataflow' | 'executor' | 'soundness' | 'validator' | 'planner' | 'prefilter' | 'vectorized'
     detail: str
     args: dict = field(default_factory=dict)
 
@@ -362,6 +366,69 @@ def _check_prefilter(
                 )
 
 
+def _check_planner(
+    programs: Sequence[Program],
+    dataset: Dataset,
+    rows: Sequence[object],
+    cost_model: CostModel,
+    out: list[Discrepancy],
+) -> None:
+    """Calibrated-planner parity: planning must never change semantics.
+
+    The cost-driven planner reorders merges, skips predicted-unprofitable
+    pairs (composing them sequentially) and may demote merges to no-SMT
+    under budget — all of which must be *plan*-level decisions only.  The
+    batch is consolidated again under ``planner="calibrated"`` (with the
+    uniform fallback model, so the check needs no trace) and its dataflow
+    run must reproduce the ``whereMany`` baseline's buckets exactly,
+    with consolidated UDF cost never worse (Theorem 2 survives planning).
+    """
+
+    if len(programs) < 2:
+        return
+    config = ExecutionConfig(cost_model=cost_model, planner="calibrated")
+    try:
+        many = run_where_many(rows, programs, dataset.functions, config=config)
+        planned, report = run_where_consolidated(
+            rows, programs, dataset.functions, config=config
+        )
+    except Exception as exc:  # noqa: BLE001 - a planner crash is a finding
+        out.append(
+            Discrepancy(
+                "planner",
+                f"calibrated-planner run raised {type(exc).__name__}: {exc}",
+            )
+        )
+        return
+    for pid in (p.pid for p in programs):
+        a = many.buckets.get(pid, [])
+        b = planned.buckets.get(pid, [])
+        if a != b:
+            out.append(
+                Discrepancy(
+                    "planner",
+                    f"bucket {pid!r} differs under the calibrated planner: "
+                    f"whereMany {a!r} vs planned {b!r}",
+                )
+            )
+    if planned.metrics.udf_cost > many.metrics.udf_cost:
+        out.append(
+            Discrepancy(
+                "planner",
+                "cost-never-worse violated under the calibrated planner: "
+                f"consolidated UDF cost {planned.metrics.udf_cost} > "
+                f"whereMany {many.metrics.udf_cost}",
+            )
+        )
+    if report.planner != "calibrated":
+        out.append(
+            Discrepancy(
+                "planner",
+                f"report.planner is {report.planner!r}, expected 'calibrated'",
+            )
+        )
+
+
 def _check_vectorized(
     programs: Sequence[Program],
     report: ConsolidationReport | None,
@@ -570,6 +637,9 @@ def run_battery(
             if expired():
                 return result
             _check_validator(programs, report, dataset, cost_model, out)
+    if expired():
+        return result
+    _check_planner(programs, dataset, rows, cost_model, out)
     if expired():
         return result
     _check_prefilter(programs, report, dataset, inputs, cost_model, out)

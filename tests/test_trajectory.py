@@ -84,6 +84,42 @@ class TestBaseline:
         assert trajectory.find_baseline([], "small") is None
 
 
+class TestDedupe:
+    def _sha_row(self, sha, scale="small", **metrics):
+        row = _row(scale=scale, **metrics)
+        row["git_sha"] = sha
+        return row
+
+    def test_latest_row_per_sha_and_scale_wins(self):
+        rows = [
+            self._sha_row("aaa", weather_smt_checks=1),
+            self._sha_row("bbb", weather_smt_checks=2),
+            self._sha_row("aaa", weather_smt_checks=3),
+        ]
+        deduped = trajectory.dedupe_rows(rows)
+        assert [r["git_sha"] for r in deduped] == ["bbb", "aaa"]
+        assert deduped[1]["metrics"]["weather_smt_checks"] == 3
+
+    def test_scales_are_distinct(self):
+        rows = [
+            self._sha_row("aaa", scale="small"),
+            self._sha_row("aaa", scale="full"),
+        ]
+        assert len(trajectory.dedupe_rows(rows)) == 2
+
+    def test_unknown_sha_rows_are_kept(self):
+        rows = [
+            self._sha_row("unknown"),
+            self._sha_row("unknown"),
+            {"scale": "small", "metrics": {}},  # no sha at all
+        ]
+        assert trajectory.dedupe_rows(rows) == rows
+
+    def test_order_preserved_and_unique_history_untouched(self):
+        rows = [self._sha_row(sha) for sha in ("aaa", "bbb", "ccc")]
+        assert trajectory.dedupe_rows(rows) == rows
+
+
 class TestEndToEnd:
     def test_first_append_then_gate(self, tmp_path):
         out = tmp_path / "BENCH_trajectory.json"
@@ -97,9 +133,12 @@ class TestEndToEnd:
         assert row["metrics"]["weather_udf_speedup"] > 1.0
 
         # Second run gates against the first and stays green (deterministic
-        # metrics are identical; wall clock is within the loose band).
+        # metrics are identical; wall clock is within the loose band).  Both
+        # rows carry the same git sha, so dedupe keeps only the fresh one.
         assert trajectory.main(["--output", str(out), "--tolerance", "10"]) == 0
-        assert len(json.loads(out.read_text())) == 2
+        rows_after = json.loads(out.read_text())
+        assert len(rows_after) == 1
+        assert rows_after[0]["timestamp"] >= row["timestamp"]
 
     def test_regression_exits_nonzero(self, tmp_path):
         out = tmp_path / "BENCH_trajectory.json"

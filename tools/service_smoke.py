@@ -8,8 +8,11 @@ What CI's ``service-smoke`` job runs:
    (Q1–Q4 and Mix) through the typed HTTP client;
 3. record every query fingerprint and the consolidated plan fingerprint,
    run the plan once over dataset rows;
-4. kill the server, start a fresh one over the same journal;
-5. assert the replayed registry serves byte-identical query and
+4. scrape ``/metrics`` twice — once as JSON, once with an ``Accept:
+   text/plain`` header — and assert both content types serve the same
+   counters (JSON document vs Prometheus text exposition);
+5. kill the server, start a fresh one over the same journal;
+6. assert the replayed registry serves byte-identical query and
    plan-cache fingerprints and an identical consolidated program.
 
 Exit status 0 only when every assertion holds.
@@ -21,12 +24,14 @@ Usage::
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -86,6 +91,30 @@ def stop_server(proc: subprocess.Popen) -> None:
         proc.wait()
 
 
+def check_metrics(port: int) -> None:
+    """Scrape ``/metrics`` in both content types and cross-check them."""
+
+    url = f"http://127.0.0.1:{port}/metrics"
+    with urllib.request.urlopen(url) as response:
+        assert response.headers.get_content_type() == "application/json", (
+            f"default /metrics content type: {response.headers.get_content_type()}"
+        )
+        doc = json.loads(response.read())
+    assert doc["registered_total"] >= 1, doc
+    assert "planner" in doc, doc
+
+    request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+    with urllib.request.urlopen(request) as response:
+        assert response.headers.get_content_type() == "text/plain", (
+            f"negotiated /metrics content type: {response.headers.get_content_type()}"
+        )
+        text = response.read().decode()
+    assert "# TYPE service_registered_total counter" in text, text
+    assert f'service_registered_total {doc["registered_total"]}' in text, text
+    assert "service_info{" in text and 'planner="' in text, text
+    print("  /metrics serves JSON by default and Prometheus text on Accept")
+
+
 def main() -> int:
     dataset = generate_weather(cities=20)
     module = DOMAIN_QUERIES["weather"]
@@ -113,6 +142,7 @@ def main() -> int:
             run = client.run(list(dataset.rows[:50]))
             print(f"run: buckets for {sorted(run.buckets)} (udf cost {run.udf_cost})")
             assert plan.queries == len(sources)
+            check_metrics(port)
         finally:
             stop_server(proc)
         print("server killed; restarting over the journal")
